@@ -1,0 +1,126 @@
+package memcontention
+
+import (
+	"fmt"
+
+	"memcontention/internal/engine"
+	"memcontention/internal/hwloc"
+	"memcontention/internal/kernels"
+	"memcontention/internal/mpi"
+	"memcontention/internal/simnet"
+	"memcontention/internal/units"
+)
+
+// Cluster-facing re-exports.
+type (
+	// RankCtx is the per-rank handle of the simulated MPI.
+	RankCtx = mpi.Ctx
+	// MPIStatus describes a completed receive.
+	MPIStatus = mpi.Status
+	// MPIRequest is a non-blocking operation handle.
+	MPIRequest = mpi.Request
+	// Machine is one simulated cluster node.
+	Machine = simnet.Machine
+	// Buffer is a NUMA-bound memory region.
+	Buffer = hwloc.Buffer
+	// Assignment places a kernel on cores and a NUMA node.
+	Assignment = kernels.Assignment
+	// ByteSize is an amount of data.
+	ByteSize = units.ByteSize
+	// Bandwidth is a data rate in GB/s.
+	Bandwidth = units.Bandwidth
+	// CPUSet is a set of cores.
+	CPUSet = hwloc.CPUSet
+)
+
+// ParseByteSize parses sizes such as "64MiB" or "1GiB".
+func ParseByteSize(s string) (ByteSize, error) { return units.ParseByteSize(s) }
+
+// ParseBandwidth parses rates such as "12.5 GB/s".
+func ParseBandwidth(s string) (Bandwidth, error) { return units.ParseBandwidth(s) }
+
+// Size constants re-exported for example code.
+const (
+	KiB = units.KiB
+	MiB = units.MiB
+	GiB = units.GiB
+)
+
+// MPI wildcards.
+const (
+	AnySource = mpi.AnySource
+	AnyTag    = mpi.AnyTag
+)
+
+// Cluster is a simulated set of identical machines linked by a fabric,
+// ready to run MPI programs under the deterministic simulation engine.
+type Cluster struct {
+	sim      *engine.Sim
+	fabric   *simnet.Fabric
+	machines []*simnet.Machine
+	ran      bool
+}
+
+// NewCluster builds n identical machines of the named built-in platform.
+func NewCluster(platform string, n int) (*Cluster, error) {
+	plat, err := PlatformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := ProfileFor(platform)
+	if err != nil {
+		return nil, err
+	}
+	return NewCustomCluster(plat, prof, n)
+}
+
+// NewCustomCluster builds a cluster from an explicit platform and
+// hardware profile.
+func NewCustomCluster(plat *Platform, prof *HardwareProfile, n int) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("memcontention: cluster needs at least one machine, got %d", n)
+	}
+	sim := engine.NewSim()
+	wire := simnet.WireRateFor(plat.NIC.Tech, plat.NIC.PCIeGen)
+	fabric, err := simnet.NewFabric(sim, wire, 1.5e-6)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{sim: sim, fabric: fabric}
+	for i := 0; i < n; i++ {
+		m, err := simnet.NewMachine(sim, i, plat, prof)
+		if err != nil {
+			return nil, err
+		}
+		if err := fabric.Attach(m); err != nil {
+			return nil, err
+		}
+		c.machines = append(c.machines, m)
+	}
+	return c, nil
+}
+
+// Machines returns the cluster's nodes.
+func (c *Cluster) Machines() []*simnet.Machine { return c.machines }
+
+// Platform returns the machines' platform description.
+func (c *Cluster) Platform() *Platform { return c.machines[0].Sys.Platform() }
+
+// Run executes an MPI program with ranksPerMachine ranks on each machine
+// and blocks until every rank returns. It returns the total simulated
+// time and any simulation error (deadlock, panic in a rank).
+func (c *Cluster) Run(ranksPerMachine int, main func(*RankCtx)) (simSeconds float64, err error) {
+	if c.ran {
+		return 0, fmt.Errorf("memcontention: a Cluster runs one job; create a new cluster for the next run")
+	}
+	c.ran = true
+	world, err := mpi.NewWorld(c.sim, c.fabric, c.machines, ranksPerMachine)
+	if err != nil {
+		return 0, err
+	}
+	world.Launch(main)
+	if err := c.sim.Run(); err != nil {
+		return c.sim.Now(), err
+	}
+	return c.sim.Now(), nil
+}

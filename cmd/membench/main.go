@@ -1,0 +1,130 @@
+// Command membench runs the paper's benchmarking program (§IV-A1) on a
+// simulated platform: for every number of computing cores it measures
+// computations alone, communications alone, and both in parallel, for one
+// or all data placements.
+//
+// Usage:
+//
+//	membench -platform henri                       # all placements, text
+//	membench -platform henri -comp 0 -comm 1       # one placement
+//	membench -platform dahu -kernel copy -csv      # CSV output
+//	membench -platform pyxis -bidir                # ping-pong extension
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memcontention"
+	"memcontention/internal/bench"
+	"memcontention/internal/export"
+	"memcontention/internal/kernels"
+	"memcontention/internal/memsys"
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+func main() {
+	platform := flag.String("platform", "henri", "built-in platform name")
+	platformFile := flag.String("platformfile", "", "load the platform from a JSON file instead")
+	profileFile := flag.String("profilefile", "", "load the hardware profile from a JSON file (required with -platformfile for non-built-in machines)")
+	comp := flag.Int("comp", -1, "computation data NUMA node (-1: all placements)")
+	comm := flag.Int("comm", -1, "communication data NUMA node (-1: all placements)")
+	kernelName := flag.String("kernel", "nt-memset", "kernel: nt-memset, copy, triad, load")
+	msgSize := flag.String("msg", "64MiB", "message size")
+	seed := flag.Uint64("seed", 1, "measurement noise seed")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of a text table")
+	bidir := flag.Bool("bidir", false, "bidirectional communications (ping-pong extension)")
+	flag.Parse()
+
+	if err := run(*platform, *platformFile, *profileFile, *comp, *comm, *kernelName, *msgSize, *seed, *csvOut, *bidir); err != nil {
+		fmt.Fprintln(os.Stderr, "membench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platform, platformFile, profileFile string, comp, comm int, kernelName, msgSize string, seed uint64, csvOut, bidir bool) error {
+	var plat *topology.Platform
+	var prof *memsys.Profile
+	var err error
+	if platformFile != "" {
+		if plat, err = memcontention.LoadPlatformFile(platformFile); err != nil {
+			return err
+		}
+	} else if plat, err = topology.ByName(platform); err != nil {
+		return err
+	}
+	if profileFile != "" {
+		if prof, err = memcontention.LoadProfileFile(profileFile, plat); err != nil {
+			return err
+		}
+	}
+	kern, err := kernelByName(kernelName)
+	if err != nil {
+		return err
+	}
+	size, err := units.ParseByteSize(msgSize)
+	if err != nil {
+		return err
+	}
+	runner, err := bench.NewRunner(bench.Config{
+		Platform:      plat,
+		Profile:       prof,
+		Kernel:        kern,
+		MessageSize:   size,
+		Seed:          seed,
+		Bidirectional: bidir,
+	})
+	if err != nil {
+		return err
+	}
+
+	var placements []model.Placement
+	if comp >= 0 && comm >= 0 {
+		placements = []model.Placement{{Comp: topology.NodeID(comp), Comm: topology.NodeID(comm)}}
+	} else {
+		placements = bench.AllPlacements(plat)
+	}
+	for _, pl := range placements {
+		curve, err := runner.RunPlacement(pl)
+		if err != nil {
+			return err
+		}
+		t := curveTable(curve)
+		if csvOut {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func kernelByName(name string) (kernels.Kernel, error) {
+	for _, kind := range []kernels.Kind{kernels.NTMemset, kernels.Copy, kernels.Triad, kernels.Load} {
+		if kind.String() == name {
+			return kernels.New(kind), nil
+		}
+	}
+	return kernels.Kernel{}, fmt.Errorf("unknown kernel %q", name)
+}
+
+func curveTable(c *bench.Curve) *export.Table {
+	t := export.NewTable(
+		fmt.Sprintf("%s — %v (kernel %s), bandwidths in GB/s", c.Platform, c.Placement, c.Kernel),
+		"n", "comp alone", "comm alone", "comp par", "comm par", "total par",
+	)
+	for _, p := range c.Points {
+		t.AddRow(fmt.Sprint(p.N),
+			export.GBs(p.CompAlone), export.GBs(p.CommAlone),
+			export.GBs(p.CompPar), export.GBs(p.CommPar), export.GBs(p.TotalPar()))
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+// Command memmodel calibrates the contention model on a platform and
+// prints parameters and predictions (§III + §IV-A2).
+//
+// Usage:
+//
+//	memmodel -platform henri                      # calibrate, print params
+//	memmodel -platform henri -json                # params as JSON
+//	memmodel -platform henri -n 12 -comp 0 -comm 1   # one prediction
+//	memmodel -platform henri -predict             # predictions, all placements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/calib"
+	"memcontention/internal/export"
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+)
+
+func main() {
+	platform := flag.String("platform", "henri", "built-in platform name")
+	seed := flag.Uint64("seed", 1, "measurement noise seed")
+	jsonOut := flag.Bool("json", false, "print the calibrated model as JSON")
+	predict := flag.Bool("predict", false, "print prediction tables for all placements")
+	n := flag.Int("n", 0, "predict for this number of computing cores")
+	comp := flag.Int("comp", 0, "computation data NUMA node for -n")
+	comm := flag.Int("comm", 0, "communication data NUMA node for -n")
+	flag.Parse()
+
+	if err := run(*platform, *seed, *jsonOut, *predict, *n, *comp, *comm); err != nil {
+		fmt.Fprintln(os.Stderr, "memmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int) error {
+	plat, err := topology.ByName(platform)
+	if err != nil {
+		return err
+	}
+	runner, err := bench.NewRunner(bench.Config{Platform: plat, Seed: seed})
+	if err != nil {
+		return err
+	}
+	m, err := calib.CalibrateRunner(runner)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case jsonOut:
+		return export.WriteJSON(os.Stdout, m)
+	case n > 0:
+		pl := model.Placement{Comp: topology.NodeID(comp), Comm: topology.NodeID(comm)}
+		pred, err := m.Predict(n, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s, %v, n=%d: computations %.2f GB/s, communications %.2f GB/s\n",
+			platform, pl, n, pred.Comp, pred.Comm)
+		return nil
+	case predict:
+		for _, pl := range bench.AllPlacements(plat) {
+			preds, err := m.PredictCurve(plat.CoresPerSocket(), pl)
+			if err != nil {
+				return err
+			}
+			t := export.NewTable(fmt.Sprintf("%s — predicted bandwidths for %v (GB/s)", platform, pl),
+				"n", "computations", "communications")
+			for i, p := range preds {
+				t.AddRow(fmt.Sprint(i+1), export.GBs(p.Comp), export.GBs(p.Comm))
+			}
+			if err := t.WriteText(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return export.ParamsTable(
+			fmt.Sprintf("Calibrated model for %s (seed %d)", platform, seed), m,
+		).WriteText(os.Stdout)
+	}
+}

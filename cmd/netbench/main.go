@@ -1,0 +1,58 @@
+// Command netbench runs the ping-pong message-size sweep (experiment E14)
+// over the simulated fabric, printing the classic latency→bandwidth curve
+// MPI benchmark suites report.
+//
+// Usage:
+//
+//	netbench -platform henri
+//	netbench -platform diablo -node 1 -iters 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"memcontention/internal/export"
+	"memcontention/internal/netbench"
+	"memcontention/internal/topology"
+)
+
+func main() {
+	platform := flag.String("platform", "henri", "built-in platform name")
+	node := flag.Int("node", 0, "NUMA node holding the buffers on both machines")
+	iters := flag.Int("iters", 4, "round trips per message size")
+	csvOut := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	if err := run(*platform, *node, *iters, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "netbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(platform string, node, iters int, csvOut bool) error {
+	plat, err := topology.ByName(platform)
+	if err != nil {
+		return err
+	}
+	points, err := netbench.PingPong(netbench.Config{
+		Platform:   plat,
+		Node:       topology.NodeID(node),
+		Iterations: iters,
+	})
+	if err != nil {
+		return err
+	}
+	t := export.NewTable(
+		fmt.Sprintf("Ping-pong on 2 × %s, buffers on node %d (%d round trips per size)", platform, node, iters),
+		"size", "half RTT (µs)", "bandwidth (GB/s)",
+	)
+	for _, p := range points {
+		t.AddRow(p.Size.String(), fmt.Sprintf("%.2f", p.HalfRTT*1e6), export.GBs(p.Bandwidth))
+	}
+	if csvOut {
+		return t.WriteCSV(os.Stdout)
+	}
+	return t.WriteText(os.Stdout)
+}

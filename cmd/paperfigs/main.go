@@ -1,0 +1,245 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section from the simulated testbed:
+//
+//	Table I   — platform characteristics
+//	Table II  — model prediction errors
+//	Figure 2  — stacked bandwidths (henri-subnuma, both streams local)
+//	Figures 3–8 — per-platform measured + predicted curves
+//
+// Usage:
+//
+//	paperfigs                  # everything, text to stdout
+//	paperfigs -table 2         # just Table II
+//	paperfigs -fig 4           # just Figure 4 (CSV to stdout)
+//	paperfigs -out results/    # write all artifacts as files (CSV/JSON/txt)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/eval"
+	"memcontention/internal/export"
+	"memcontention/internal/model"
+	"memcontention/internal/plot"
+	"memcontention/internal/report"
+	"memcontention/internal/sweep"
+	"memcontention/internal/topology"
+)
+
+func main() {
+	table := flag.Int("table", 0, "emit only this table (1 or 2)")
+	fig := flag.Int("fig", 0, "emit only this figure (2..8)")
+	out := flag.String("out", "", "write artifacts into this directory instead of stdout")
+	seed := flag.Uint64("seed", 1, "measurement noise seed")
+	workers := flag.Int("workers", 0, "parallel evaluations (0: GOMAXPROCS)")
+	ascii := flag.Bool("plot", false, "render figures as ASCII charts instead of CSV")
+	flag.Parse()
+
+	if err := run(*table, *fig, *out, *seed, *workers, *ascii); err != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", err)
+		os.Exit(1)
+	}
+}
+
+// figPlatform maps figure numbers to platforms.
+var figPlatform = map[int]string{
+	2: "henri-subnuma",
+	3: "henri",
+	4: "henri-subnuma",
+	5: "diablo",
+	6: "occigen",
+	7: "pyxis",
+	8: "dahu",
+}
+
+func run(table, fig int, out string, seed uint64, workers int, ascii bool) error {
+	if table == 1 {
+		return eval.Table1(topology.Testbed()).WriteText(os.Stdout)
+	}
+	// Everything else needs evaluations; run them in parallel.
+	need := map[string]bool{}
+	switch {
+	case table == 2:
+		for _, p := range topology.Testbed() {
+			need[p.Name] = true
+		}
+	case fig != 0:
+		name, ok := figPlatform[fig]
+		if !ok {
+			return fmt.Errorf("unknown figure %d (valid: 2..8)", fig)
+		}
+		need[name] = true
+	default:
+		for _, p := range topology.Testbed() {
+			need[p.Name] = true
+		}
+	}
+	var names []string
+	for _, p := range topology.Testbed() { // stable Table I order
+		if need[p.Name] {
+			names = append(names, p.Name)
+		}
+	}
+	results, err := sweep.Map(names, workers, func(name string) (*eval.PlatformResult, error) {
+		plat, err := topology.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return eval.EvaluatePlatform(bench.Config{Platform: plat, Seed: seed})
+	})
+	if err != nil {
+		return err
+	}
+	byName := map[string]*eval.PlatformResult{}
+	for _, r := range results {
+		byName[r.Platform] = r
+	}
+
+	switch {
+	case table == 2:
+		return eval.Table2(results).WriteText(os.Stdout)
+	case fig == 2:
+		st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
+		if err != nil {
+			return err
+		}
+		return st.WriteCSV(os.Stdout)
+	case fig != 0:
+		r := byName[figPlatform[fig]]
+		figure := eval.FigureFor(fmt.Sprintf("figure%d", fig), r)
+		if ascii {
+			return writeASCII(os.Stdout, figure)
+		}
+		return figure.WriteCSV(os.Stdout)
+	case out != "":
+		return writeAll(out, results, byName)
+	default:
+		return printAll(results, byName)
+	}
+}
+
+// writeASCII renders each subplot of a figure as two terminal charts
+// (communications and computations), the way the paper shows dual-axis
+// panels.
+func writeASCII(w io.Writer, figure *eval.Figure) error {
+	for _, sp := range figure.Subplots {
+		var commAlone, commPar, predComm, compAlone, compPar, predComp []float64
+		for _, p := range sp.Points {
+			commAlone = append(commAlone, p.CommAlone)
+			commPar = append(commPar, p.CommPar)
+			predComm = append(predComm, p.PredComm)
+			compAlone = append(compAlone, p.CompAlone)
+			compPar = append(compPar, p.CompPar)
+			predComp = append(predComp, p.PredComp)
+		}
+		tag := ""
+		if sp.IsSample {
+			tag = "  [calibration sample]"
+		}
+		commChart := plot.New(fmt.Sprintf("%s %v — communications (GB/s)%s", figure.Platform, sp.Placement, tag)).
+			Add(plot.Series{Name: "alone", Y: commAlone, Marker: 'o'}).
+			Add(plot.Series{Name: "parallel", Y: commPar, Marker: 'v'}).
+			Add(plot.Series{Name: "model", Y: predComm, Marker: '+'})
+		compChart := plot.New(fmt.Sprintf("%s %v — computations (GB/s)", figure.Platform, sp.Placement)).
+			Add(plot.Series{Name: "alone", Y: compAlone, Marker: 'o'}).
+			Add(plot.Series{Name: "parallel", Y: compPar, Marker: 'v'}).
+			Add(plot.Series{Name: "model", Y: predComp, Marker: '+'})
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", commChart.Render(), compChart.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printAll(results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
+	if err := eval.Table1(topology.Testbed()).WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := eval.Table2(results).WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		return err
+	}
+	fmt.Println("FIGURE 2 — stacked bandwidths (henri-subnuma, comp@0/comm@0):")
+	if err := st.WriteCSV(os.Stdout); err != nil {
+		return err
+	}
+	for figNo := 3; figNo <= 8; figNo++ {
+		r := byName[figPlatform[figNo]]
+		fmt.Printf("\nFIGURE %d — %s:\n", figNo, r.Platform)
+		if err := eval.FigureFor(fmt.Sprintf("figure%d", figNo), r).WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeAll(dir string, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(f io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("table1.txt", func(f io.Writer) error {
+		return eval.Table1(topology.Testbed()).WriteText(f)
+	}); err != nil {
+		return err
+	}
+	if err := write("table2.txt", func(f io.Writer) error {
+		return eval.Table2(results).WriteText(f)
+	}); err != nil {
+		return err
+	}
+	if err := write("table2.json", func(f io.Writer) error {
+		return export.WriteJSON(f, results)
+	}); err != nil {
+		return err
+	}
+	st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		return err
+	}
+	if err := write("figure2.csv", st.WriteCSV); err != nil {
+		return err
+	}
+	for figNo := 3; figNo <= 8; figNo++ {
+		r := byName[figPlatform[figNo]]
+		fig := eval.FigureFor(fmt.Sprintf("figure%d", figNo), r)
+		if err := write(fmt.Sprintf("figure%d.csv", figNo), fig.WriteCSV); err != nil {
+			return err
+		}
+	}
+	for _, r := range results {
+		r := r
+		if err := write("report-"+r.Platform+".txt", func(f io.Writer) error {
+			plat, err := topology.ByName(r.Platform)
+			if err != nil {
+				return err
+			}
+			runner, err := bench.NewRunner(bench.Config{Platform: plat, Seed: 1})
+			if err != nil {
+				return err
+			}
+			return report.Write(f, r, runner)
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote artifacts to %s\n", dir)
+	return nil
+}

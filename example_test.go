@@ -1,0 +1,84 @@
+package memcontention_test
+
+import (
+	"fmt"
+
+	"memcontention"
+)
+
+// Calibrate a model on a built-in platform and predict one configuration.
+func ExampleCalibrate() {
+	m, err := memcontention.Calibrate("occigen", 1)
+	if err != nil {
+		panic(err)
+	}
+	pred, err := m.Predict(8, memcontention.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("computations %.1f GB/s, communications %.1f GB/s\n", pred.Comp, pred.Comm)
+	// Output:
+	// computations 35.2 GB/s, communications 6.6 GB/s
+}
+
+// The model is calibrated from two placements but predicts all of them.
+func ExampleModel_Predict() {
+	m, err := memcontention.Calibrate("occigen", 1)
+	if err != nil {
+		panic(err)
+	}
+	for _, pl := range []memcontention.Placement{
+		{Comp: 0, Comm: 0}, // both local (calibration sample)
+		{Comp: 0, Comm: 1}, // communication data remote (never measured)
+	} {
+		pred, err := m.Predict(14, pl)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: comp %.1f, comm %.1f GB/s\n", pl, pred.Comp, pred.Comm)
+	}
+	// Output:
+	// comp@0/comm@0: comp 49.2, comm 6.6 GB/s
+	// comp@0/comm@1: comp 50.0, comm 6.8 GB/s
+}
+
+// List the paper's testbed.
+func ExamplePlatforms() {
+	for _, name := range memcontention.Platforms() {
+		fmt.Println(name)
+	}
+	// Output:
+	// dahu
+	// diablo
+	// henri
+	// henri-subnuma
+	// occigen
+	// pyxis
+}
+
+// Run a tiny MPI job on a simulated cluster.
+func ExampleCluster_Run() {
+	cluster, err := memcontention.NewCluster("henri", 2)
+	if err != nil {
+		panic(err)
+	}
+	_, err = cluster.Run(1, func(ctx *memcontention.RankCtx) {
+		switch ctx.Rank() {
+		case 0:
+			if err := ctx.Send(1, 1, memcontention.MiB, 0, "hello"); err != nil {
+				panic(err)
+			}
+		case 1:
+			st, err := ctx.Recv(0, 1, memcontention.MiB, 0)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Println(st.Payload)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// hello
+}

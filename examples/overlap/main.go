@@ -1,0 +1,148 @@
+// Overlap: the motivating scenario of the paper's introduction. A rank
+// overlaps the reception of a large halo message with a memory-bound
+// computation; both streams share the memory system and slow each other
+// down. The example measures the slowdown on the simulated cluster and
+// compares it with the calibrated model's prediction.
+//
+// Run with:
+//
+//	go run ./examples/overlap [-platform henri] [-cores 14]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memcontention"
+	"memcontention/internal/memsys"
+	"memcontention/internal/trace"
+)
+
+const (
+	tagHalo  = 7
+	haloSize = 64 * memcontention.MiB
+	// perCoreWork is sized so the computation outlasts the message
+	// reception: the measured communication bandwidth is then the
+	// steady-state contended bandwidth the model predicts.
+	perCoreWork = 512 * memcontention.MiB
+)
+
+func main() {
+	platform := flag.String("platform", "henri", "built-in platform")
+	cores := flag.Int("cores", 14, "computing cores on the receiving rank")
+	showTrace := flag.Bool("trace", false, "print the receiving machine's flow timeline")
+	flag.Parse()
+
+	m, err := memcontention.Calibrate(*platform, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := memcontention.PlatformByName(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *cores < 1 || *cores > plat.CoresPerSocket() {
+		log.Fatalf("cores must be in [1,%d]", plat.CoresPerSocket())
+	}
+
+	cluster, err := memcontention.NewCluster(*platform, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var recorder *trace.Recorder
+	if *showTrace {
+		recorder = trace.NewRecorder()
+		cluster.Machines()[0].Flows.SetObserver(recorder)
+	}
+
+	kern := memcontention.DefaultKernel()
+	pl := memcontention.Placement{Comp: 0, Comm: 0}
+	n := *cores
+
+	type result struct {
+		commAlone, commOverlap    memcontention.Bandwidth
+		computeAlone, computeOver memcontention.Bandwidth
+	}
+	var res result
+
+	_, err = cluster.Run(1, func(ctx *memcontention.RankCtx) {
+		switch ctx.Rank() {
+		case 0:
+			topo := ctx.Machine().Topo
+			cpus := []memcontention.CoreID(topo.SocketSet(0).Take(n))
+			work := memcontention.Assignment{Kernel: kern, Cores: cpus, Node: pl.Comp}
+
+			// Phase 1: communication alone.
+			st, err := ctx.Recv(1, tagHalo, haloSize, pl.Comm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.commAlone = st.AvgRate
+			ctx.Barrier()
+
+			// Phase 2: computation alone.
+			bw, err := ctx.Compute(work, perCoreWork)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.computeAlone = bw
+			ctx.Barrier()
+
+			// Phase 3: overlap — post the receive, compute while the
+			// message streams in, then wait.
+			req, err := ctx.Irecv(1, tagHalo, haloSize, pl.Comm)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bw, err = ctx.Compute(work, perCoreWork)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.computeOver = bw
+			st, err = ctx.Wait(req)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res.commOverlap = st.AvgRate
+			ctx.Barrier()
+
+		case 1:
+			for phase := 0; phase < 3; phase++ {
+				if phase != 1 {
+					if err := ctx.Send(0, tagHalo, haloSize, 0, nil); err != nil {
+						log.Fatal(err)
+					}
+				}
+				ctx.Barrier()
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pred, err := m.Predict(n, pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Overlap on %s, %d computing cores, data placement %v:\n\n", *platform, n, pl)
+	fmt.Printf("  communications alone:    %s\n", res.commAlone)
+	fmt.Printf("  communications overlap:  %s   (model predicts %.2f GB/s)\n", res.commOverlap, pred.Comm)
+	fmt.Printf("  computations alone:      %s\n", res.computeAlone)
+	fmt.Printf("  computations overlap:    %s   (model predicts %.2f GB/s)\n", res.computeOver, pred.Comp)
+	slowdown := 1.0
+	if res.commOverlap > 0 {
+		slowdown = res.commAlone.GBps() / res.commOverlap.GBps()
+	}
+	fmt.Printf("\n  communication slowdown under contention: ×%.2f\n", slowdown)
+
+	if recorder != nil {
+		fmt.Printf("\nFlow timeline of the receiving machine ('~' comm, '=' compute):\n")
+		fmt.Print(recorder.Gantt(64))
+		comm := recorder.Summarize(memsys.KindComm)
+		comp := recorder.Summarize(memsys.KindCompute)
+		fmt.Printf("\n  comm flows: %d, %s moved, mean %.2f GB/s\n", comm.Finished, comm.Bytes, comm.MeanRate)
+		fmt.Printf("  comp flows: %d, %s moved, mean %.2f GB/s\n", comp.Finished, comp.Bytes, comp.MeanRate)
+	}
+}

@@ -1,0 +1,81 @@
+// Placement advisor: use the calibrated model the way a runtime system
+// would (§VI: "runtime systems could better know on which NUMA node store
+// data and how many computing cores should be used to avoid memory
+// contention").
+//
+// Given a target communication bandwidth the application needs to sustain
+// (so its halo exchanges stay overlapped), the advisor searches every
+// (placement, core count) pair and reports the configuration maximising
+// computation bandwidth while keeping communications above the target.
+//
+// Run with:
+//
+//	go run ./examples/placement [-platform dahu] [-commtarget 8.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memcontention"
+)
+
+func main() {
+	platform := flag.String("platform", "henri", "built-in platform")
+	commTarget := flag.Float64("commtarget", 8.0, "minimum sustained communication bandwidth (GB/s)")
+	flag.Parse()
+
+	plat, err := memcontention.PlatformByName(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := memcontention.Calibrate(*platform, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Searching placements on %s keeping communications ≥ %.1f GB/s\n\n", *platform, *commTarget)
+	fmt.Println("comp@  comm@   best n   computations   communications")
+
+	type best struct {
+		n          int
+		comp, comm float64
+	}
+	var globalBest best
+	var globalPl memcontention.Placement
+	for comp := 0; comp < plat.NNodes(); comp++ {
+		for comm := 0; comm < plat.NNodes(); comm++ {
+			pl := memcontention.Placement{
+				Comp: memcontention.NodeID(comp),
+				Comm: memcontention.NodeID(comm),
+			}
+			var b best
+			for n := 1; n <= plat.CoresPerSocket(); n++ {
+				pred, err := m.Predict(n, pl)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if pred.Comm >= *commTarget && pred.Comp > b.comp {
+					b = best{n: n, comp: pred.Comp, comm: pred.Comm}
+				}
+			}
+			if b.n == 0 {
+				fmt.Printf("%5d  %5d   (cannot sustain the communication target)\n", comp, comm)
+				continue
+			}
+			fmt.Printf("%5d  %5d   %6d   %8.2f GB/s   %8.2f GB/s\n", comp, comm, b.n, b.comp, b.comm)
+			if b.comp > globalBest.comp {
+				globalBest, globalPl = b, pl
+			}
+		}
+	}
+	if globalBest.n == 0 {
+		fmt.Println("\nNo configuration sustains the requested communication bandwidth.")
+		return
+	}
+	fmt.Printf("\nRecommendation: place computation data on node %d, communication data on node %d,\n",
+		globalPl.Comp, globalPl.Comm)
+	fmt.Printf("and compute with %d cores: %.2f GB/s for computations, %.2f GB/s for communications.\n",
+		globalBest.n, globalBest.comp, globalBest.comm)
+}

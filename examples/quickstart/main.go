@@ -1,0 +1,54 @@
+// Quickstart: calibrate the contention model on one platform and predict
+// the bandwidths of a placement the calibration never measured.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memcontention"
+)
+
+func main() {
+	// Calibrate from the two sample placements (§IV-A2): all data on
+	// the local NUMA node, then all data on the remote one. Seed 1
+	// drives the simulated measurement noise.
+	m, err := memcontention.Calibrate("henri", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Calibrated model for henri:")
+	fmt.Println(m)
+
+	// Predict a non-sample placement: computation data local (node 0),
+	// communication data remote (node 1).
+	pl := memcontention.Placement{Comp: 0, Comm: 1}
+	fmt.Printf("\nPredictions for %v:\n", pl)
+	fmt.Println("  n   computations   communications")
+	for n := 1; n <= 18; n++ {
+		pred, err := m.Predict(n, pl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d   %8.2f GB/s   %8.2f GB/s\n", n, pred.Comp, pred.Comm)
+	}
+
+	// The same question an application developer asks: how many cores
+	// can compute before communications start to suffer?
+	nominal, err := m.Predict(1, pl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for n := 1; n <= 18; n++ {
+		pred, _ := m.Predict(n, pl)
+		if pred.Comm < 0.95*nominal.Comm {
+			fmt.Printf("\nCommunications drop below 95%% of nominal with %d computing cores.\n", n)
+			return
+		}
+	}
+	fmt.Println("\nCommunications are never significantly impacted on this placement.")
+}

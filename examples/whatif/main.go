@@ -1,0 +1,88 @@
+// Whatif: explore a machine that is NOT part of the paper's testbed. The
+// library derives a generic hardware profile from the topology alone, so
+// you can ask "how would contention behave on a 2×24-core machine with 4
+// NUMA nodes per socket?" — the workflow a procurement or runtime team
+// would use before hardware exists.
+//
+// Run with:
+//
+//	go run ./examples/whatif [-cores 24] [-nodes 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"memcontention"
+)
+
+func main() {
+	cores := flag.Int("cores", 24, "cores per socket")
+	nodes := flag.Int("nodes", 2, "NUMA nodes per socket")
+	flag.Parse()
+
+	plat, err := memcontention.NewPlatformBuilder("whatif").
+		CPU(memcontention.Intel, fmt.Sprintf("hypothetical %dc", *cores)).
+		Sockets(2).
+		NodesPerSocket(*nodes).
+		CoresPerSocket(*cores).
+		MemoryPerNodeGB(64).
+		NICOn("hypothetical-nic", memcontention.InfiniBand, memcontention.NodeID(*nodes), 4).
+		LinkName("UPI").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := memcontention.DefaultProfileFor(plat)
+
+	// Calibrate the model on the hypothetical machine...
+	m, err := memcontention.CalibrateConfig(memcontention.BenchConfig{
+		Platform: plat,
+		Profile:  prof,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Hypothetical platform: %s\n\n%s\n\n", plat, m)
+
+	// ...and answer the §VI runtime question: with communications kept
+	// at ≥ 80 % of nominal, how many cores can compute per placement?
+	fmt.Println("Max computing cores keeping communications ≥ 80 % of nominal:")
+	for comp := 0; comp < plat.NNodes(); comp++ {
+		for comm := 0; comm < plat.NNodes(); comm++ {
+			pl := memcontention.Placement{
+				Comp: memcontention.NodeID(comp),
+				Comm: memcontention.NodeID(comm),
+			}
+			nominal, err := m.Predict(1, pl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			best := 0
+			for n := 1; n <= plat.CoresPerSocket(); n++ {
+				pred, err := m.Predict(n, pl)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if pred.Comm >= 0.8*nominal.Comm {
+					best = n
+				}
+			}
+			fmt.Printf("  comp@%d comm@%d: %2d cores\n", comp, comm, best)
+		}
+	}
+
+	// Full evaluation: does the model stay accurate on this topology?
+	res, err := memcontention.EvaluateConfig(memcontention.BenchConfig{
+		Platform: plat,
+		Profile:  prof,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nModel accuracy on the hypothetical machine: comm %.2f %%, comp %.2f %% (avg %.2f %%)\n",
+		res.Errors.CommAll, res.Errors.CompAll, res.Errors.Average)
+}

@@ -1,0 +1,96 @@
+package memcontention
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"memcontention/internal/model"
+)
+
+// File I/O for custom platforms, hardware profiles and calibrated models:
+// everything needed to study machines beyond the built-in testbed, or to
+// calibrate once and reuse the model elsewhere.
+
+// LoadPlatformFile reads and validates a platform description (JSON, the
+// schema produced by SavePlatformFile).
+func LoadPlatformFile(path string) (*Platform, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("memcontention: load platform: %w", err)
+	}
+	var p Platform
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("memcontention: load platform %s: %w", path, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("memcontention: platform %s invalid: %w", path, err)
+	}
+	return &p, nil
+}
+
+// SavePlatformFile writes a platform description as indented JSON.
+func SavePlatformFile(path string, p *Platform) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("memcontention: save platform: %w", err)
+	}
+	return writeJSONFile(path, p)
+}
+
+// LoadProfileFile reads a hardware profile and validates it against the
+// platform it will simulate.
+func LoadProfileFile(path string, plat *Platform) (*HardwareProfile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("memcontention: load profile: %w", err)
+	}
+	var prof HardwareProfile
+	if err := json.Unmarshal(data, &prof); err != nil {
+		return nil, fmt.Errorf("memcontention: load profile %s: %w", path, err)
+	}
+	if err := prof.Validate(plat); err != nil {
+		return nil, fmt.Errorf("memcontention: profile %s invalid for %s: %w", path, plat.Name, err)
+	}
+	return &prof, nil
+}
+
+// SaveProfileFile writes a hardware profile as indented JSON.
+func SaveProfileFile(path string, prof *HardwareProfile, plat *Platform) error {
+	if err := prof.Validate(plat); err != nil {
+		return fmt.Errorf("memcontention: save profile: %w", err)
+	}
+	return writeJSONFile(path, prof)
+}
+
+// LoadModelFile reads a calibrated model (JSON, as produced by
+// SaveModelFile or `memmodel -json`). The model is validated on decode.
+func LoadModelFile(path string) (Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Model{}, fmt.Errorf("memcontention: load model: %w", err)
+	}
+	var m model.Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Model{}, fmt.Errorf("memcontention: load model %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SaveModelFile writes a calibrated model as indented JSON.
+func SaveModelFile(path string, m Model) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("memcontention: save model: %w", err)
+	}
+	return writeJSONFile(path, m)
+}
+
+func writeJSONFile(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("memcontention: encode %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("memcontention: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package memcontention
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPlatformFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "henri.platform.json")
+	plat := mustPlatform(t, "henri")
+	if err := SavePlatformFile(path, plat); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPlatformFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != plat.Name || back.NCores() != plat.NCores() || back.NIC != plat.NIC {
+		t.Error("platform round trip lost data")
+	}
+}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "henri.profile.json")
+	plat := mustPlatform(t, "henri")
+	prof, err := ProfileFor("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveProfileFile(path, prof, plat); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadProfileFile(path, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PerCoreLocal != prof.PerCoreLocal || back.Caps.MixLocal != prof.Caps.MixLocal {
+		t.Error("profile round trip lost data")
+	}
+	// A loaded profile drives a benchmark identically to the built-in.
+	a, err := CalibrateConfig(BenchConfig{Platform: plat, Profile: back, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate("henri", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("loaded profile must behave like the built-in one")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	m, err := Calibrate("dahu", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveModelFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != m {
+		t.Error("model round trip lost data")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlatformFile(bad); err == nil {
+		t.Error("garbage platform accepted")
+	}
+	if _, err := LoadProfileFile(bad, mustPlatform(t, "henri")); err == nil {
+		t.Error("garbage profile accepted")
+	}
+	if _, err := LoadModelFile(bad); err == nil {
+		t.Error("garbage model accepted")
+	}
+	if _, err := LoadPlatformFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Structurally valid JSON but semantically invalid content.
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPlatformFile(empty); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	if _, err := LoadProfileFile(empty, mustPlatform(t, "henri")); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := LoadModelFile(empty); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	var m Model // zero model is invalid
+	if err := SaveModelFile(filepath.Join(dir, "m.json"), m); err == nil {
+		t.Error("invalid model saved")
+	}
+	plat := mustPlatform(t, "henri")
+	plat.Cores[0].Socket = 9
+	if err := SavePlatformFile(filepath.Join(dir, "p.json"), plat); err == nil {
+		t.Error("invalid platform saved")
+	}
+}

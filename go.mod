@@ -1,0 +1,3 @@
+module memcontention
+
+go 1.22

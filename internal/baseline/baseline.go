@@ -1,0 +1,144 @@
+// Package baseline implements the comparison predictors used in the
+// ablation study (E10 of DESIGN.md): simpler models that the paper's
+// threshold model is measured against.
+//
+//   - NoContention assumes computations scale perfectly and the network
+//     always delivers its nominal bandwidth — what an application writer
+//     assumes when enabling communication/computation overlap naively.
+//   - FairShare splits the bus capacity proportionally to demands once
+//     saturated, with no CPU priority and no guaranteed NIC floor — the
+//     assumption of generic queuing-style models with identical customers
+//     (§II-D discusses why that breaks here).
+//   - Langguth is a duration-style model in the spirit of Langguth et
+//     al. [13] (§V): a single total-capacity threshold shared by both
+//     stream kinds, without NUMA placement awareness (it always uses the
+//     local instantiation).
+//
+// All baselines consume the same calibrated parameters as the real model,
+// so the comparison isolates the modelling assumptions rather than the
+// calibration quality.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"memcontention/internal/model"
+)
+
+// Predictor is a bandwidth predictor comparable to model.Model.
+type Predictor interface {
+	// Name identifies the predictor in ablation tables.
+	Name() string
+	// Predict returns computation and communication bandwidth for n
+	// computing cores under the given placement.
+	Predict(n int, pl model.Placement) (model.Prediction, error)
+}
+
+// Paper adapts model.Model to the Predictor interface.
+type Paper struct{ Model model.Model }
+
+// Name implements Predictor.
+func (p Paper) Name() string { return "threshold-model" }
+
+// Predict implements Predictor.
+func (p Paper) Predict(n int, pl model.Placement) (model.Prediction, error) {
+	return p.Model.Predict(n, pl)
+}
+
+// NoContention predicts perfect scaling for computations (up to the
+// compute-alone maximum) and nominal bandwidth for communications.
+type NoContention struct{ Model model.Model }
+
+// Name implements Predictor.
+func (NoContention) Name() string { return "no-contention" }
+
+// Predict implements Predictor.
+func (b NoContention) Predict(n int, pl model.Placement) (model.Prediction, error) {
+	if n < 1 {
+		return model.Prediction{}, fmt.Errorf("baseline: n must be ≥ 1, got %d", n)
+	}
+	comp := b.Model.Local
+	if int(pl.Comp) >= b.Model.NodesPerSocket {
+		comp = b.Model.Remote
+	}
+	comm := b.Model.Local
+	if int(pl.Comm) >= b.Model.NodesPerSocket {
+		comm = b.Model.Remote
+	}
+	return model.Prediction{
+		Comp: math.Min(float64(n)*comp.BCompSeq, comp.TSeqMax),
+		Comm: comm.BCommSeq,
+	}, nil
+}
+
+// FairShare splits T(n) proportionally to demands once the total demand
+// exceeds it; no CPU priority, no NIC floor.
+type FairShare struct{ Model model.Model }
+
+// Name implements Predictor.
+func (FairShare) Name() string { return "fair-share" }
+
+// Predict implements Predictor.
+func (b FairShare) Predict(n int, pl model.Placement) (model.Prediction, error) {
+	if n < 1 {
+		return model.Prediction{}, fmt.Errorf("baseline: n must be ≥ 1, got %d", n)
+	}
+	p := b.Model.Local
+	if int(pl.Comp) >= b.Model.NodesPerSocket && pl.Comp == pl.Comm {
+		p = b.Model.Remote
+	}
+	compDemand := float64(n) * p.BCompSeq
+	commDemand := p.BCommSeq
+	if int(pl.Comm) >= b.Model.NodesPerSocket {
+		commDemand = b.Model.Remote.BCommSeq
+	}
+	if pl.Comp != pl.Comm {
+		// Fair share has no cross-node coupling: both sides get their
+		// demand (computations still bounded by the alone maximum).
+		return model.Prediction{
+			Comp: math.Min(compDemand, p.TSeqMax),
+			Comm: commDemand,
+		}, nil
+	}
+	total := p.TotalBandwidth(n)
+	demand := compDemand + commDemand
+	if demand <= total {
+		return model.Prediction{Comp: compDemand, Comm: commDemand}, nil
+	}
+	scale := total / demand
+	return model.Prediction{Comp: compDemand * scale, Comm: commDemand * scale}, nil
+}
+
+// Langguth is a single-threshold duration-style model: one capacity value
+// (the local TParMax), no NUMA awareness, CPU-priority split when
+// saturated but no communication floor and no degradation slopes.
+type Langguth struct{ Model model.Model }
+
+// Name implements Predictor.
+func (Langguth) Name() string { return "langguth-style" }
+
+// Predict implements Predictor.
+func (b Langguth) Predict(n int, pl model.Placement) (model.Prediction, error) {
+	if n < 1 {
+		return model.Prediction{}, fmt.Errorf("baseline: n must be ≥ 1, got %d", n)
+	}
+	p := b.Model.Local
+	compDemand := float64(n) * p.BCompSeq
+	commDemand := p.BCommSeq
+	capTotal := p.TParMax
+	comp := math.Min(compDemand, capTotal)
+	comm := math.Min(commDemand, math.Max(0, capTotal-comp))
+	return model.Prediction{Comp: comp, Comm: comm}, nil
+}
+
+// All returns every baseline (and the paper's model first) built from the
+// same calibrated parameters.
+func All(m model.Model) []Predictor {
+	return []Predictor{
+		Paper{Model: m},
+		NoContention{Model: m},
+		FairShare{Model: m},
+		Langguth{Model: m},
+	}
+}

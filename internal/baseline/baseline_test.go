@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"testing"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/calib"
+	"memcontention/internal/model"
+	"memcontention/internal/stats"
+	"memcontention/internal/topology"
+)
+
+func refModel() model.Model {
+	local := model.Params{
+		NParMax: 12, TParMax: 70,
+		NSeqMax: 14, TSeqMax: 66,
+		TPar2:  66,
+		DeltaL: 2.0, DeltaR: 0.6,
+		BCompSeq: 5.0, BCommSeq: 11.0, Alpha: 0.25,
+	}
+	remote := model.Params{
+		NParMax: 8, TParMax: 40,
+		NSeqMax: 10, TSeqMax: 34,
+		TPar2:  36,
+		DeltaL: 2.0, DeltaR: 0.5,
+		BCompSeq: 3.4, BCommSeq: 11.5, Alpha: 0.25,
+	}
+	return model.Model{Local: local, Remote: remote, NodesPerSocket: 1}
+}
+
+func TestNoContention(t *testing.T) {
+	b := NoContention{Model: refModel()}
+	pl := model.Placement{Comp: 0, Comm: 0}
+	p, err := b.Predict(4, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Comp != 20 || p.Comm != 11 {
+		t.Errorf("unsaturated prediction = %+v", p)
+	}
+	// Saturated region: still predicts nominal comm (that is the point
+	// of this baseline — it ignores contention).
+	p, _ = b.Predict(18, pl)
+	if p.Comm != 11 {
+		t.Errorf("no-contention comm = %v, must stay nominal", p.Comm)
+	}
+	if p.Comp != 66 { // capped at TSeqMax only
+		t.Errorf("no-contention comp = %v, want 66", p.Comp)
+	}
+	// Remote placement uses remote nominals.
+	p, _ = b.Predict(4, model.Placement{Comp: 1, Comm: 1})
+	if p.Comp != 4*3.4 || p.Comm != 11.5 {
+		t.Errorf("remote no-contention = %+v", p)
+	}
+	if _, err := b.Predict(0, pl); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+func TestFairShare(t *testing.T) {
+	b := FairShare{Model: refModel()}
+	pl := model.Placement{Comp: 0, Comm: 0}
+	// Unsaturated: demands granted.
+	p, err := b.Predict(4, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Comp != 20 || p.Comm != 11 {
+		t.Errorf("unsaturated fair share = %+v", p)
+	}
+	// Saturated: proportional split of T(n), no CPU priority.
+	p, _ = b.Predict(18, pl)
+	total := refModel().Local.TotalBandwidth(18)
+	demand := 90.0 + 11.0
+	if diff := p.Comp - 90*total/demand; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("fair-share comp = %v", p.Comp)
+	}
+	if diff := p.Comm - 11*total/demand; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("fair-share comm = %v", p.Comm)
+	}
+	// Fair share gives comm MORE than the real model under saturation
+	// (no CPU priority): that is its characteristic error.
+	real, _ := Paper{Model: refModel()}.Predict(18, pl)
+	if p.Comm <= real.Comm {
+		t.Error("fair share must over-promise communications under contention")
+	}
+	// Cross placements: no coupling at all.
+	p, _ = b.Predict(18, model.Placement{Comp: 0, Comm: 1})
+	if p.Comm != 11.5 {
+		t.Errorf("fair-share cross comm = %v, want remote nominal", p.Comm)
+	}
+	if _, err := b.Predict(0, pl); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+func TestLangguth(t *testing.T) {
+	b := Langguth{Model: refModel()}
+	// NUMA-blind: remote placement predicted with local numbers.
+	pLocal, _ := b.Predict(6, model.Placement{Comp: 0, Comm: 0})
+	pRemote, _ := b.Predict(6, model.Placement{Comp: 1, Comm: 1})
+	if pLocal != pRemote {
+		t.Error("Langguth-style baseline must be NUMA-blind")
+	}
+	// Single threshold, CPU priority, no floor: comm can go to zero.
+	p, _ := b.Predict(18, model.Placement{Comp: 0, Comm: 0})
+	if p.Comp != 70 {
+		t.Errorf("comp = %v, want the full threshold", p.Comp)
+	}
+	if p.Comm != 0 {
+		t.Errorf("comm = %v, want 0 (no guaranteed floor)", p.Comm)
+	}
+	if _, err := b.Predict(0, model.Placement{}); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+func TestAllReturnsEveryPredictor(t *testing.T) {
+	ps := All(refModel())
+	if len(ps) != 4 {
+		t.Fatalf("All returned %d predictors", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name()] = true
+		if _, err := p.Predict(4, model.Placement{Comp: 0, Comm: 0}); err != nil {
+			t.Errorf("%s failed: %v", p.Name(), err)
+		}
+	}
+	for _, want := range []string{"threshold-model", "no-contention", "fair-share", "langguth-style"} {
+		if !names[want] {
+			t.Errorf("missing predictor %q", want)
+		}
+	}
+}
+
+// TestPaperModelBeatsBaselines is the E10 ablation: on a contended
+// platform the threshold model must have a strictly lower MAPE than every
+// baseline.
+func TestPaperModelBeatsBaselines(t *testing.T) {
+	runner, err := bench.NewRunner(bench.Config{Platform: topology.Henri(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := calib.CalibrateRunner(runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves, err := runner.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := func(p Predictor) float64 {
+		var actual, predicted []float64
+		for _, c := range curves {
+			for _, pt := range c.Points {
+				pred, err := p.Predict(pt.N, c.Placement)
+				if err != nil {
+					t.Fatal(err)
+				}
+				actual = append(actual, pt.CommPar, pt.CompPar)
+				predicted = append(predicted, pred.Comm, pred.Comp)
+			}
+		}
+		e, err := stats.MAPE(actual, predicted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	paper := mape(Paper{Model: m})
+	for _, b := range []Predictor{NoContention{Model: m}, FairShare{Model: m}, Langguth{Model: m}} {
+		if got := mape(b); got <= paper {
+			t.Errorf("%s MAPE %.2f%% must exceed the threshold model's %.2f%%", b.Name(), got, paper)
+		}
+	}
+	if paper > 3.0 {
+		t.Errorf("threshold model MAPE %.2f%% unexpectedly high on henri", paper)
+	}
+}

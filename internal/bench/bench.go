@@ -1,0 +1,304 @@
+// Package bench reproduces the paper's benchmarking program (§IV-A1): for
+// every possible number of computing cores it measures 1) computations
+// alone, 2) communications alone, 3) both in parallel, for a given
+// placement of computation and communication data on NUMA nodes.
+//
+// Computations are a weak-scaling non-temporal memset spread over the
+// first socket's cores; communications receive large messages from a peer
+// machine, their bandwidth being the receive bandwidth observed at the
+// NIC. Steady-state bandwidths come from the memsys solver; seeded
+// multiplicative noise reproduces run-to-run variability (kept "very low"
+// as the paper reports, except on platforms flagged unstable).
+package bench
+
+import (
+	"fmt"
+
+	"memcontention/internal/kernels"
+	"memcontention/internal/memsys"
+	"memcontention/internal/model"
+	"memcontention/internal/rng"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// Config parameterises a benchmark campaign.
+type Config struct {
+	// Platform and Profile describe the machine. Profile may be nil for
+	// built-in platforms, in which case the hand-tuned profile is used.
+	Platform *topology.Platform
+	Profile  *memsys.Profile
+	// Kernel is the computation kernel (default: non-temporal memset).
+	Kernel kernels.Kernel
+	// MessageSize is the received message size (default 64 MiB). The
+	// steady-state bandwidth does not depend on it, but it is recorded
+	// with the results and used by the DES cross-check.
+	MessageSize units.ByteSize
+	// Seed drives the measurement noise (default 1).
+	Seed uint64
+	// Repeats is the number of averaged measurement runs (default 3).
+	Repeats int
+	// Bidirectional adds the paper's §VI extension: a second,
+	// send-direction stream (ping-pong instead of pong-only).
+	Bidirectional bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Platform == nil {
+		return c, fmt.Errorf("bench: nil platform")
+	}
+	if c.Profile == nil {
+		prof, err := memsys.ProfileFor(c.Platform.Name)
+		if err != nil {
+			return c, fmt.Errorf("bench: %w (pass an explicit profile for custom platforms)", err)
+		}
+		c.Profile = prof
+	}
+	if c.Kernel.DemandFactor == 0 {
+		c.Kernel = kernels.New(kernels.NTMemset)
+	}
+	if c.MessageSize == 0 {
+		c.MessageSize = 64 * units.MiB
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 3
+	}
+	return c, nil
+}
+
+// Point is one benchmark measurement: the four bandwidths for n computing
+// cores (GB/s).
+type Point struct {
+	N         int     `json:"n"`
+	CompAlone float64 `json:"comp_alone"`
+	CommAlone float64 `json:"comm_alone"`
+	CompPar   float64 `json:"comp_par"`
+	CommPar   float64 `json:"comm_par"`
+}
+
+// TotalPar is the stacked total of Figure 2.
+func (p Point) TotalPar() float64 { return p.CompPar + p.CommPar }
+
+// Curve is the benchmark output for one placement: points for
+// n = 1..cores(socket 0).
+type Curve struct {
+	Platform  string          `json:"platform"`
+	Placement model.Placement `json:"placement"`
+	Kernel    string          `json:"kernel"`
+	Points    []Point         `json:"points"`
+}
+
+// Series extracts one measured series; name is one of "comp_alone",
+// "comm_alone", "comp_par", "comm_par", "total_par".
+func (c *Curve) Series(name string) ([]float64, error) {
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		switch name {
+		case "comp_alone":
+			out[i] = p.CompAlone
+		case "comm_alone":
+			out[i] = p.CommAlone
+		case "comp_par":
+			out[i] = p.CompPar
+		case "comm_par":
+			out[i] = p.CommPar
+		case "total_par":
+			out[i] = p.TotalPar()
+		default:
+			return nil, fmt.Errorf("bench: unknown series %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Runner executes benchmark campaigns on one machine.
+type Runner struct {
+	cfg Config
+	sys *memsys.System
+}
+
+// NewRunner validates the configuration and builds the machine.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Kernel.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	sys, err := memsys.New(cfg.Platform, cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return &Runner{cfg: cfg, sys: sys}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// System returns the simulated machine.
+func (r *Runner) System() *memsys.System { return r.sys }
+
+// computeStreams builds the weak-scaling kernel streams for n cores of
+// socket 0 with data on node.
+func (r *Runner) computeStreams(n int, node topology.NodeID) ([]memsys.Stream, error) {
+	cores := r.cfg.Platform.CoresOfSocket(0)
+	if n < 1 || n > len(cores) {
+		return nil, fmt.Errorf("bench: n=%d out of range [1,%d]", n, len(cores))
+	}
+	a := kernels.Assignment{Kernel: r.cfg.Kernel, Cores: cores[:n], Node: node}
+	return a.Streams(r.sys, 0)
+}
+
+// commStreams builds the communication stream(s) for data on node. IDs
+// start above any compute stream id.
+func (r *Runner) commStreams(node topology.NodeID) []memsys.Stream {
+	streams := []memsys.Stream{{
+		ID:   1 << 20,
+		Kind: memsys.KindComm,
+		Node: node,
+	}}
+	if r.cfg.Bidirectional {
+		// Ping-pong: the NIC simultaneously reads outgoing data from
+		// the same node (§VI future work).
+		streams = append(streams, memsys.Stream{
+			ID:   1<<20 + 1,
+			Kind: memsys.KindComm,
+			Node: node,
+		})
+	}
+	return streams
+}
+
+// noise returns the averaged multiplicative noise factor for a metric.
+func (r *Runner) noise(pl model.Placement, n int, metric string, rel float64) float64 {
+	if rel <= 0 {
+		return 1
+	}
+	label := fmt.Sprintf("%s|%s|%s|n=%d|%s", r.cfg.Platform.Name, r.cfg.Kernel, pl, n, metric)
+	s := rng.New(r.cfg.Seed, label)
+	sum := 0.0
+	for rep := 0; rep < r.cfg.Repeats; rep++ {
+		sum += s.Derive(fmt.Sprintf("rep%d", rep)).Jitter(rel)
+	}
+	return sum / float64(r.cfg.Repeats)
+}
+
+func (r *Runner) compNoiseRel() float64 {
+	q := r.cfg.Profile.Quirks
+	if q.ComputeNoiseRel > q.MeasureNoiseRel {
+		return q.ComputeNoiseRel
+	}
+	return q.MeasureNoiseRel
+}
+
+func (r *Runner) commNoiseRel() float64 {
+	q := r.cfg.Profile.Quirks
+	if q.CommNoiseRel > q.MeasureNoiseRel {
+		return q.CommNoiseRel
+	}
+	return q.MeasureNoiseRel
+}
+
+// MeasurePoint runs the three benchmark steps for one core count.
+func (r *Runner) MeasurePoint(pl model.Placement, n int) (Point, error) {
+	comp, err := r.computeStreams(n, pl.Comp)
+	if err != nil {
+		return Point{}, err
+	}
+	comm := r.commStreams(pl.Comm)
+
+	aloneComp, err := r.sys.Solve(comp)
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: compute-alone solve: %w", err)
+	}
+	aloneComm, err := r.sys.Solve(comm)
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: comm-alone solve: %w", err)
+	}
+	par, err := r.sys.Solve(append(append([]memsys.Stream(nil), comp...), comm...))
+	if err != nil {
+		return Point{}, fmt.Errorf("bench: parallel solve: %w", err)
+	}
+
+	return Point{
+		N:         n,
+		CompAlone: aloneComp.ComputeTotal * r.noise(pl, n, "comp_alone", r.compNoiseRel()),
+		CommAlone: aloneComm.CommTotal * r.noise(pl, n, "comm_alone", r.commNoiseRel()),
+		CompPar:   par.ComputeTotal * r.noise(pl, n, "comp_par", r.compNoiseRel()),
+		CommPar:   par.CommTotal * r.noise(pl, n, "comm_par", r.commNoiseRel()),
+	}, nil
+}
+
+// RunPlacement sweeps n = 1..cores(socket 0) for one placement.
+func (r *Runner) RunPlacement(pl model.Placement) (*Curve, error) {
+	if int(pl.Comp) >= r.cfg.Platform.NNodes() || int(pl.Comm) >= r.cfg.Platform.NNodes() || pl.Comp < 0 || pl.Comm < 0 {
+		return nil, fmt.Errorf("bench: placement %v out of range for %d nodes", pl, r.cfg.Platform.NNodes())
+	}
+	nMax := r.cfg.Platform.CoresPerSocket()
+	curve := &Curve{
+		Platform:  r.cfg.Platform.Name,
+		Placement: pl,
+		Kernel:    r.cfg.Kernel.String(),
+		Points:    make([]Point, 0, nMax),
+	}
+	for n := 1; n <= nMax; n++ {
+		pt, err := r.MeasurePoint(pl, n)
+		if err != nil {
+			return nil, err
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	return curve, nil
+}
+
+// AllPlacements enumerates every (mcomp, mcomm) pair of the platform in
+// row-major order (communication node major, matching the paper's figure
+// layout: one row of subplots per communication placement).
+func AllPlacements(plat *topology.Platform) []model.Placement {
+	nodes := plat.NNodes()
+	out := make([]model.Placement, 0, nodes*nodes)
+	for comm := 0; comm < nodes; comm++ {
+		for comp := 0; comp < nodes; comp++ {
+			out = append(out, model.Placement{Comp: topology.NodeID(comp), Comm: topology.NodeID(comm)})
+		}
+	}
+	return out
+}
+
+// SamplePlacements returns the two calibration placements of §IV-A2.
+func SamplePlacements(plat *topology.Platform) (local, remote model.Placement) {
+	m := topology.NodeID(plat.NodesPerSocket())
+	return model.Placement{Comp: 0, Comm: 0}, model.Placement{Comp: m, Comm: m}
+}
+
+// RunAll measures every placement combination.
+func (r *Runner) RunAll() ([]*Curve, error) {
+	placements := AllPlacements(r.cfg.Platform)
+	curves := make([]*Curve, 0, len(placements))
+	for _, pl := range placements {
+		c, err := r.RunPlacement(pl)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// RunSamples measures only the two calibration placements, in the order
+// (local, remote).
+func (r *Runner) RunSamples() (local, remote *Curve, err error) {
+	lp, rp := SamplePlacements(r.cfg.Platform)
+	if local, err = r.RunPlacement(lp); err != nil {
+		return nil, nil, err
+	}
+	if remote, err = r.RunPlacement(rp); err != nil {
+		return nil, nil, err
+	}
+	return local, remote, nil
+}

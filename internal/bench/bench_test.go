@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"memcontention/internal/kernels"
+	"memcontention/internal/memsys"
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+func henriRunner(t *testing.T, seed uint64) *Runner {
+	t.Helper()
+	r, err := NewRunner(Config{Platform: topology.Henri(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDefaults(t *testing.T) {
+	r := henriRunner(t, 0)
+	cfg := r.Config()
+	if cfg.Seed != 1 || cfg.Repeats != 3 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	if cfg.MessageSize != 64*units.MiB {
+		t.Errorf("message size default = %v", cfg.MessageSize)
+	}
+	if cfg.Kernel.Kind != kernels.NTMemset {
+		t.Errorf("kernel default = %v", cfg.Kernel)
+	}
+	if cfg.Profile == nil || cfg.Profile.PlatformName != "henri" {
+		t.Error("hand-tuned profile not loaded")
+	}
+}
+
+func TestNewRunnerErrors(t *testing.T) {
+	if _, err := NewRunner(Config{}); err == nil {
+		t.Error("nil platform must fail")
+	}
+	custom, err := topology.NewBuilder("custom").
+		CPU(topology.Intel, "x").
+		Sockets(2).NodesPerSocket(1).CoresPerSocket(4).
+		MemoryPerNodeGB(8).
+		NICOn("n", topology.InfiniBand, 1, 3).
+		LinkName("UPI").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(Config{Platform: custom}); err == nil {
+		t.Error("custom platform without profile must fail with a helpful error")
+	}
+	if _, err := NewRunner(Config{Platform: custom, Profile: memsys.DefaultProfile(custom)}); err != nil {
+		t.Errorf("custom platform with profile: %v", err)
+	}
+	bad := Config{Platform: topology.Henri()}
+	bad.Kernel = kernels.Kernel{DemandFactor: 1} // no streams
+	if _, err := NewRunner(bad); err == nil {
+		t.Error("invalid kernel must fail")
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	r := henriRunner(t, 1)
+	curve, err := r.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 18 {
+		t.Fatalf("%d points, want 18 (cores of socket 0)", len(curve.Points))
+	}
+	// Compute-alone grows then saturates.
+	if curve.Points[0].CompAlone < 4.5 || curve.Points[0].CompAlone > 5.5 {
+		t.Errorf("single-core bandwidth %v, want ≈5", curve.Points[0].CompAlone)
+	}
+	maxAlone := 0.0
+	for _, p := range curve.Points {
+		if p.CompAlone > maxAlone {
+			maxAlone = p.CompAlone
+		}
+	}
+	last := curve.Points[17].CompAlone
+	if maxAlone < 60 || last >= maxAlone {
+		t.Errorf("compute-alone must saturate below its max (max %v, last %v)", maxAlone, last)
+	}
+	// Comm-alone is flat at nominal (±noise).
+	for _, p := range curve.Points {
+		if math.Abs(p.CommAlone-10.9) > 0.5 {
+			t.Errorf("n=%d: comm alone %v, want ≈10.9", p.N, p.CommAlone)
+		}
+	}
+	// Parallel comm ends at the floor.
+	if curve.Points[17].CommPar > 3.5 {
+		t.Errorf("comm under full contention = %v, want ≈2.6 (floor)", curve.Points[17].CommPar)
+	}
+}
+
+func TestNoiseDeterminismAndSeeds(t *testing.T) {
+	a, err := henriRunner(t, 7).RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := henriRunner(t, 7).RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed must give identical measurements")
+		}
+	}
+	c, err := henriRunner(t, 8).RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Points {
+		if a.Points[i] == c.Points[i] {
+			same++
+		}
+	}
+	if same == len(a.Points) {
+		t.Error("different seeds must perturb measurements")
+	}
+}
+
+func TestNoiseIsSmall(t *testing.T) {
+	// The paper: "the run-to-run variability is very low". Measured
+	// values must sit within ~2 % of the noise-free solver output.
+	r := henriRunner(t, 3)
+	pt, err := r.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pt.CompAlone-20)/20 > 0.02 {
+		t.Errorf("noise too large: comp alone %v, want ≈20", pt.CompAlone)
+	}
+}
+
+func TestAllPlacements(t *testing.T) {
+	pls := AllPlacements(topology.Henri())
+	if len(pls) != 4 {
+		t.Fatalf("henri placements = %d, want 4", len(pls))
+	}
+	// Row-major with comm outer (figure layout).
+	if pls[0] != (model.Placement{Comp: 0, Comm: 0}) || pls[1] != (model.Placement{Comp: 1, Comm: 0}) {
+		t.Errorf("placement order wrong: %v", pls[:2])
+	}
+	if got := AllPlacements(topology.HenriSubnuma()); len(got) != 16 {
+		t.Errorf("subnuma placements = %d, want 16", len(got))
+	}
+}
+
+func TestSamplePlacements(t *testing.T) {
+	local, remote := SamplePlacements(topology.HenriSubnuma())
+	if local != (model.Placement{Comp: 0, Comm: 0}) {
+		t.Errorf("local sample = %v", local)
+	}
+	if remote != (model.Placement{Comp: 2, Comm: 2}) {
+		t.Errorf("remote sample = %v", remote)
+	}
+}
+
+func TestRunSamplesAndRunAll(t *testing.T) {
+	r := henriRunner(t, 1)
+	local, remote, err := r.RunSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Placement != (model.Placement{Comp: 0, Comm: 0}) || remote.Placement != (model.Placement{Comp: 1, Comm: 1}) {
+		t.Error("sample placements wrong")
+	}
+	curves, err := r.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 4 {
+		t.Fatalf("RunAll returned %d curves", len(curves))
+	}
+	// RunAll's sample curves must equal the direct sample runs
+	// (deterministic noise keyed by placement and n).
+	for i := range local.Points {
+		if curves[0].Points[i] != local.Points[i] {
+			t.Fatal("RunAll and RunSamples disagree on the local sample")
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	r := henriRunner(t, 1)
+	curve, err := r.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"comp_alone", "comm_alone", "comp_par", "comm_par", "total_par"} {
+		s, err := curve.Series(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != len(curve.Points) {
+			t.Errorf("series %s length %d", name, len(s))
+		}
+	}
+	if _, err := curve.Series("bogus"); err == nil {
+		t.Error("unknown series must error")
+	}
+	tp, _ := curve.Series("total_par")
+	if tp[0] != curve.Points[0].CompPar+curve.Points[0].CommPar {
+		t.Error("total_par must be the stacked sum")
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	r := henriRunner(t, 1)
+	if _, err := r.RunPlacement(model.Placement{Comp: 9, Comm: 0}); err == nil {
+		t.Error("out-of-range placement must fail")
+	}
+	if _, err := r.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := r.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 99); err == nil {
+		t.Error("n beyond the socket must fail")
+	}
+}
+
+func TestBidirectionalExtension(t *testing.T) {
+	uni := henriRunner(t, 1)
+	r, err := NewRunner(Config{Platform: topology.Henri(), Seed: 1, Bidirectional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniPt, err := uni.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biPt, err := r.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two NIC streams extract more aggregate bandwidth than one, but
+	// less than double (they share the PCIe path).
+	if biPt.CommAlone <= uniPt.CommAlone {
+		t.Errorf("bidirectional aggregate %v must exceed unidirectional %v", biPt.CommAlone, uniPt.CommAlone)
+	}
+	if biPt.CommAlone > 2*uniPt.CommAlone {
+		t.Errorf("bidirectional aggregate %v cannot exceed twice the unidirectional", biPt.CommAlone)
+	}
+}
+
+func TestKernelChangesDemand(t *testing.T) {
+	memset := henriRunner(t, 1)
+	copyCfg := Config{Platform: topology.Henri(), Seed: 1, Kernel: kernels.New(kernels.Copy)}
+	copyRunner, err := NewRunner(copyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := memset.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := copyRunner.MeasurePoint(model.Placement{Comp: 0, Comm: 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CompAlone <= a.CompAlone {
+		t.Errorf("copy kernel (%v) must demand more than memset (%v) at low core counts", b.CompAlone, a.CompAlone)
+	}
+}

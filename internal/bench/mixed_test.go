@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"testing"
+
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+)
+
+func TestMixedCoresInterleave(t *testing.T) {
+	plat := topology.Henri()
+	cores, err := mixedCores(plat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.CoreID{0, 18, 1, 19}
+	for i, c := range cores {
+		if c != want[i] {
+			t.Fatalf("mixed cores = %v, want %v", cores, want)
+		}
+	}
+	if _, err := mixedCores(plat, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := mixedCores(plat, 37); err == nil {
+		t.Error("n beyond the machine must fail")
+	}
+	all, err := mixedCores(plat, 36)
+	if err != nil || len(all) != 36 {
+		t.Fatalf("full machine selection failed: %v, %v", all, err)
+	}
+	seen := map[topology.CoreID]bool{}
+	for _, c := range all {
+		if seen[c] {
+			t.Fatalf("core %d selected twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestMixedPointBlendsLocality(t *testing.T) {
+	r := henriRunner(t, 1)
+	pl := model.Placement{Comp: 0, Comm: 0}
+	// Two mixed cores = one local (5 GB/s) + one remote (3.4 GB/s):
+	// unsaturated aggregate ≈ 8.4, strictly between 2×remote and
+	// 2×local.
+	pt, err := r.MeasureMixedPoint(pl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CompAlone < 2*3.4 || pt.CompAlone > 2*5.0 {
+		t.Errorf("mixed 2-core bandwidth %v outside (6.8, 10)", pt.CompAlone)
+	}
+	if pt.CompAlone < 8.0 || pt.CompAlone > 8.8 {
+		t.Errorf("mixed 2-core bandwidth %v, want ≈8.4 (5 + 3.4)", pt.CompAlone)
+	}
+}
+
+func TestRunMixedPlacement(t *testing.T) {
+	r := henriRunner(t, 1)
+	curve, err := r.RunMixedPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 36 {
+		t.Fatalf("%d points, want 36 (both sockets)", len(curve.Points))
+	}
+	// The controller stays the bottleneck: mixing in remote cores does
+	// not unlock bandwidth beyond the local peak, and at full machine
+	// load the latency-bound remote requests drag efficiency below it
+	// (they hold controller slots longer per byte).
+	single, err := r.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxOf := func(c *Curve) float64 {
+		m := 0.0
+		for _, p := range c.Points {
+			if p.CompAlone > m {
+				m = p.CompAlone
+			}
+		}
+		return m
+	}
+	mixedPeak, singlePeak := maxOf(curve), maxOf(single)
+	if mixedPeak > 1.1*singlePeak {
+		t.Errorf("mixed peak %v cannot exceed the controller-bound local peak %v", mixedPeak, singlePeak)
+	}
+	if mixedPeak < 0.6*singlePeak {
+		t.Errorf("mixed peak %v implausibly low vs local peak %v", mixedPeak, singlePeak)
+	}
+	last := curve.Points[len(curve.Points)-1].CompAlone
+	if last >= mixedPeak {
+		t.Error("full-machine mixed load must sit below the mixed peak (efficiency decline)")
+	}
+	if _, err := r.RunMixedPlacement(model.Placement{Comp: 9, Comm: 0}); err == nil {
+		t.Error("bad placement must fail")
+	}
+}
+
+// TestMixedBreaksTheModel documents the model's applicability boundary:
+// the pure-local instantiation mispredicts the mixed sweep badly, which
+// is exactly why the paper leaves mixed sockets to future work.
+func TestMixedBreaksTheModel(t *testing.T) {
+	r := henriRunner(t, 1)
+	curve, err := r.RunMixedPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against naive local-model scaling at n = 12 (6 local + 6
+	// remote cores): n·Bcomp_local = 60, but the blended hardware
+	// delivers ≈ 6·5 + 6·3.4 = 50.4.
+	pt := curve.Points[11]
+	naive := 12 * 5.0
+	if rel := (naive - pt.CompAlone) / pt.CompAlone; rel < 0.10 {
+		t.Errorf("mixed sweep should deviate ≥10%% from the pure-local model, got %.1f%%", 100*rel)
+	}
+}

@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memcontention/internal/kernels"
+	"memcontention/internal/memsys"
+	"memcontention/internal/units"
+)
+
+func TestMissRatioRegimes(t *testing.T) {
+	share := 32 * units.MiB
+	// Fitting working set: cold misses only.
+	if got := MissRatio(16*units.MiB, share); got != ColdMissRatio {
+		t.Errorf("fitting WS miss ratio = %v, want %v", got, ColdMissRatio)
+	}
+	// Boundary: continuous at ws == share.
+	if got := MissRatio(share, share); math.Abs(got-ColdMissRatio) > 1e-12 {
+		t.Errorf("boundary miss ratio = %v, want %v", got, ColdMissRatio)
+	}
+	// Double the share: half the accesses hit.
+	want := 1 - 0.5*(1-ColdMissRatio)
+	if got := MissRatio(64*units.MiB, share); math.Abs(got-want) > 1e-12 {
+		t.Errorf("2× WS miss ratio = %v, want %v", got, want)
+	}
+	// Streaming: tends to 1.
+	if got := MissRatio(64*units.GiB, share); got < 0.99 {
+		t.Errorf("huge WS miss ratio = %v, want ≈1", got)
+	}
+	// Degenerate inputs.
+	if MissRatio(0, share) != ColdMissRatio {
+		t.Error("zero WS must be cold")
+	}
+	if MissRatio(units.MiB, 0) != 1 {
+		t.Error("zero share must miss everything")
+	}
+}
+
+func TestMissRatioProperties(t *testing.T) {
+	f := func(wsKiB, shareKiB uint32) bool {
+		ws := units.ByteSize(wsKiB) * units.KiB
+		share := units.ByteSize(shareKiB%(1<<20)+1) * units.KiB
+		r := MissRatio(ws, share)
+		return r >= ColdMissRatio-1e-12 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error("miss ratio must stay in [cold, 1]:", err)
+	}
+	monotone := func(wsKiB uint16, extraKiB uint16) bool {
+		share := 1024 * units.KiB
+		a := MissRatio(units.ByteSize(wsKiB)*units.KiB, share)
+		b := MissRatio(units.ByteSize(wsKiB)*units.KiB+units.ByteSize(extraKiB)*units.KiB, share)
+		return b >= a-1e-12
+	}
+	if err := quick.Check(monotone, nil); err != nil {
+		t.Error("miss ratio must be monotone in the working set:", err)
+	}
+}
+
+func TestDemandFactor(t *testing.T) {
+	cfg := Config{SizeMiB: 32}
+	nt := kernels.New(kernels.NTMemset)
+	if got := cfg.DemandFactor(nt, 8, units.GiB); got != 1 {
+		t.Errorf("non-temporal kernels bypass the cache, factor = %v", got)
+	}
+	ld := kernels.New(kernels.Load)
+	// 8 cores share 32 MiB → 4 MiB each; 2 MiB per-core WS fits.
+	if got := cfg.DemandFactor(ld, 8, 2*units.MiB); got != ColdMissRatio {
+		t.Errorf("fitting load factor = %v, want cold", got)
+	}
+	// Huge per-core WS: approaches 1.
+	if got := cfg.DemandFactor(ld, 8, units.GiB); got < 0.9 {
+		t.Errorf("streaming load factor = %v, want ≈1", got)
+	}
+	// More cores → smaller share → more misses.
+	few := cfg.DemandFactor(ld, 2, 8*units.MiB)
+	many := cfg.DemandFactor(ld, 16, 8*units.MiB)
+	if many <= few {
+		t.Errorf("sharing the LLC among more cores must raise the miss ratio (%v vs %v)", many, few)
+	}
+	// n < 1 clamps.
+	if got := cfg.DemandFactor(ld, 0, units.MiB); got != ColdMissRatio {
+		t.Errorf("n=0 factor = %v", got)
+	}
+}
+
+func TestFilterStreams(t *testing.T) {
+	cfg := Config{SizeMiB: 32}
+	streams := []memsys.Stream{
+		{ID: 0, Kind: memsys.KindCompute, Demand: 5},
+		{ID: 1, Kind: memsys.KindCompute, Demand: 5},
+		{ID: 2, Kind: memsys.KindComm, Demand: 11},
+	}
+	ld := kernels.New(kernels.Load)
+	out := cfg.FilterStreams(streams, ld, 4*units.MiB) // 16 MiB share each: fits
+	if out[0].Demand != 5*ColdMissRatio || out[1].Demand != 5*ColdMissRatio {
+		t.Errorf("compute demands not filtered: %v", out[0].Demand)
+	}
+	if out[2].Demand != 11 {
+		t.Error("comm demand must be untouched")
+	}
+	// Original slice unmodified.
+	if streams[0].Demand != 5 {
+		t.Error("FilterStreams must not mutate its input")
+	}
+	// Non-temporal kernels pass through unchanged.
+	nt := kernels.New(kernels.NTMemset)
+	out = cfg.FilterStreams(streams, nt, 4*units.MiB)
+	if out[0].Demand != 5 {
+		t.Error("NT streams must not be filtered")
+	}
+}
+
+func TestLLCFor(t *testing.T) {
+	for _, name := range []string{"henri", "henri-subnuma", "dahu", "diablo", "pyxis", "occigen", "unknown"} {
+		cfg := LLCFor(name)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if LLCFor("diablo").SizeMiB <= LLCFor("henri").SizeMiB {
+		t.Error("EPYC must have the largest LLC")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("zero-size LLC must be invalid")
+	}
+	if (Config{SizeMiB: 32}).Size() != 32*units.MiB {
+		t.Error("Size conversion wrong")
+	}
+}

@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memcontention/internal/memsys"
+	"memcontention/internal/units"
+)
+
+// FlowObserver receives flow lifecycle notifications, in simulated-time
+// order. Implementations must not mutate the flow manager.
+type FlowObserver interface {
+	// FlowStarted fires when a transfer begins.
+	FlowStarted(id int, stream memsys.Stream, bytes float64, at float64)
+	// FlowFinished fires when a transfer drains.
+	FlowFinished(id int, at float64, avgRate float64)
+	// RatesResolved fires after every re-solve with the new rates.
+	RatesResolved(at float64, rates map[int]float64)
+}
+
+// Flows manages fluid data transfers over a memory system. All active
+// transfers progress simultaneously at the rates the memsys solver grants
+// them; rates are re-solved whenever a transfer starts or completes.
+type Flows struct {
+	sim    *Sim
+	sys    *memsys.System
+	active map[int]*flow
+	nextID int
+	// pending is the scheduled "next completion" event.
+	pending *Timer
+	// observer, when set, is notified of flow lifecycle events.
+	observer FlowObserver
+}
+
+// SetObserver installs a flow observer (nil removes it).
+func (f *Flows) SetObserver(o FlowObserver) { f.observer = o }
+
+// flow is one in-progress transfer.
+type flow struct {
+	stream    memsys.Stream
+	remaining float64 // bytes
+	rate      float64 // GB/s, last solved
+	started   float64 // sim time
+	touched   float64 // sim time of the last progress integration
+	done      *Signal
+	finished  bool
+	completed float64 // sim time at completion
+	moved     float64 // bytes completed so far (for AvgRate)
+}
+
+// Handle identifies an active or completed transfer.
+type Handle struct {
+	fl *flow
+	f  *Flows
+	id int
+}
+
+// NewFlows returns a flow manager bound to sim and sys.
+func NewFlows(sim *Sim, sys *memsys.System) *Flows {
+	return &Flows{sim: sim, sys: sys, active: make(map[int]*flow)}
+}
+
+// System returns the underlying memory system.
+func (f *Flows) System() *memsys.System { return f.sys }
+
+// Start begins a transfer of size bytes described by the stream template
+// (its ID field is overwritten with a fresh unique ID). It may be called
+// from process or scheduler context. It panics on solver errors, which can
+// only arise from malformed streams — a programming error.
+func (f *Flows) Start(st memsys.Stream, size units.ByteSize) *Handle {
+	f.nextID++
+	id := f.nextID
+	st.ID = id
+	fl := &flow{
+		stream:    st,
+		remaining: float64(size.Bytes()),
+		started:   f.sim.Now(),
+		done:      f.sim.NewSignal(),
+	}
+	f.integrate()
+	f.active[id] = fl
+	if f.observer != nil {
+		f.observer.FlowStarted(id, st, fl.remaining, fl.started)
+	}
+	f.resolve()
+	return &Handle{fl: fl, f: f, id: id}
+}
+
+// TransferAndWait starts a transfer and parks the calling process until it
+// completes. It returns the completion time and the average rate.
+func (f *Flows) TransferAndWait(p *Proc, st memsys.Stream, size units.ByteSize) (at float64, avg units.Bandwidth) {
+	h := f.Start(st, size)
+	h.Wait(p)
+	return h.CompletedAt(), h.AvgRate()
+}
+
+// Wait parks the calling process until the transfer completes.
+func (h *Handle) Wait(p *Proc) {
+	for !h.fl.finished {
+		h.fl.done.Wait(p)
+	}
+}
+
+// Done reports whether the transfer has completed.
+func (h *Handle) Done() bool { return h.fl.finished }
+
+// CompletedAt reports the completion time (0 when not finished).
+func (h *Handle) CompletedAt() float64 {
+	if !h.fl.finished {
+		return 0
+	}
+	return h.fl.completed
+}
+
+// AvgRate reports the transfer's average bandwidth over its lifetime
+// (0 when not finished or instantaneous).
+func (h *Handle) AvgRate() units.Bandwidth {
+	if !h.fl.finished {
+		return 0
+	}
+	dur := h.fl.completed - h.fl.started
+	if dur <= 0 {
+		return 0
+	}
+	return units.Bandwidth(h.fl.moved / units.BytesPerGB / dur)
+}
+
+// CurrentRate reports the instantaneous solved rate of an active transfer.
+func (h *Handle) CurrentRate() units.Bandwidth { return units.Bandwidth(h.fl.rate) }
+
+// integrate advances every active flow to the current time at its last
+// solved rate.
+func (f *Flows) integrate() {
+	now := f.sim.Now()
+	for _, fl := range f.active {
+		elapsed := now - fl.lastTouch()
+		if elapsed <= 0 {
+			continue
+		}
+		movedBytes := fl.rate * units.BytesPerGB * elapsed
+		if movedBytes > fl.remaining {
+			movedBytes = fl.remaining
+		}
+		fl.remaining -= movedBytes
+		fl.moved += movedBytes
+		fl.touched = now
+	}
+}
+
+// lastTouch reports when the flow's remaining count was last updated.
+func (fl *flow) lastTouch() float64 {
+	if fl.touched > fl.started {
+		return fl.touched
+	}
+	return fl.started
+}
+
+// resolve re-solves rates for the active set and schedules the next
+// completion event.
+func (f *Flows) resolve() {
+	if f.pending != nil {
+		f.pending.Cancel()
+		f.pending = nil
+	}
+	if len(f.active) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(f.active))
+	streams := make([]memsys.Stream, 0, len(f.active))
+	for id, fl := range f.active {
+		ids = append(ids, id)
+		streams = append(streams, fl.stream)
+	}
+	sort.Ints(ids)
+	sort.Slice(streams, func(i, j int) bool { return streams[i].ID < streams[j].ID })
+	alloc, err := f.sys.Solve(streams)
+	if err != nil {
+		panic(fmt.Sprintf("engine: flow solve failed: %v", err))
+	}
+	nextAt := math.Inf(1)
+	now := f.sim.Now()
+	for _, id := range ids {
+		fl := f.active[id]
+		fl.rate = alloc.Rate(id)
+		if fl.rate > 0 {
+			eta := now + fl.remaining/(fl.rate*units.BytesPerGB)
+			if eta < nextAt {
+				nextAt = eta
+			}
+		}
+	}
+	if f.observer != nil {
+		f.observer.RatesResolved(now, alloc.Rates)
+	}
+	if math.IsInf(nextAt, 1) {
+		// No flow can progress; leave them parked. If nothing else
+		// wakes the simulation, Run reports a deadlock.
+		return
+	}
+	f.pending = f.sim.At(nextAt, f.onCompletion)
+}
+
+// onCompletion fires when the earliest flow(s) finish: it integrates
+// progress, completes every drained flow, and re-solves the rest.
+func (f *Flows) onCompletion() {
+	f.pending = nil
+	f.integrate()
+	ids := make([]int, 0, len(f.active))
+	for id := range f.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	const eps = 1 // byte: guards float roundoff
+	for _, id := range ids {
+		fl := f.active[id]
+		if fl.remaining <= eps {
+			fl.moved += fl.remaining
+			fl.remaining = 0
+			fl.finished = true
+			fl.completed = f.sim.Now()
+			delete(f.active, id)
+			if f.observer != nil {
+				avg := 0.0
+				if d := fl.completed - fl.started; d > 0 {
+					avg = fl.moved / units.BytesPerGB / d
+				}
+				f.observer.FlowFinished(id, fl.completed, avg)
+			}
+			fl.done.Fire()
+		}
+	}
+	f.resolve()
+}
+
+// ActiveCount reports the number of in-progress transfers.
+func (f *Flows) ActiveCount() int { return len(f.active) }

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"memcontention/internal/memsys"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+func newFlowsSim(t *testing.T) (*Sim, *Flows, *memsys.System) {
+	t.Helper()
+	prof, err := memsys.ProfileFor("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(topology.Henri(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim()
+	return sim, NewFlows(sim, sys), sys
+}
+
+func TestSingleTransferTiming(t *testing.T) {
+	sim, flows, sys := newFlowsSim(t)
+	var at float64
+	var avg units.Bandwidth
+	sim.Spawn("recv", func(p *Proc) {
+		at, avg = flows.TransferAndWait(p, memsys.Stream{Kind: memsys.KindComm, Node: 0}, 64*units.MiB)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	nominal := sys.Profile().NominalComm(0)
+	wantT := float64(64*units.MiB) / (nominal * units.BytesPerGB)
+	if math.Abs(at-wantT) > 1e-9 {
+		t.Errorf("completion at %v, want %v", at, wantT)
+	}
+	if math.Abs(avg.GBps()-nominal) > 1e-6 {
+		t.Errorf("avg rate %v, want %v", avg.GBps(), nominal)
+	}
+}
+
+func TestConcurrentFlowsShareAndFinish(t *testing.T) {
+	// Two equal compute streams to the same node finish together; their
+	// rates match the steady-state solver.
+	sim, flows, sys := newFlowsSim(t)
+	var done []float64
+	sim.Spawn("main", func(p *Proc) {
+		h1 := flows.Start(memsys.Stream{Kind: memsys.KindCompute, Core: 0, Node: 0, Demand: 5}, units.GiB)
+		h2 := flows.Start(memsys.Stream{Kind: memsys.KindCompute, Core: 1, Node: 0, Demand: 5}, units.GiB)
+		h1.Wait(p)
+		done = append(done, p.Sim().Now())
+		h2.Wait(p)
+		done = append(done, p.Sim().Now())
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || math.Abs(done[0]-done[1]) > 1e-12 {
+		t.Errorf("equal flows must finish together: %v", done)
+	}
+	_ = sys
+}
+
+func TestRateResolveOnDeparture(t *testing.T) {
+	// A small flow and a big flow on a constrained resource: when the
+	// small one finishes, the big one must speed up, so its completion
+	// is earlier than a fixed-rate estimate.
+	prof, err := memsys.ProfileFor("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the controller tiny so two comm streams contend: PCIe 12.
+	prof.PCIeCap = 12
+	sys, err := memsys.New(topology.Henri(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSim()
+	flows := NewFlows(sim, sys)
+
+	var bigDone float64
+	sim.Spawn("main", func(p *Proc) {
+		small := flows.Start(memsys.Stream{Kind: memsys.KindComm, Node: 0}, 32*units.MiB)
+		big := flows.Start(memsys.Stream{Kind: memsys.KindComm, Node: 1}, 256*units.MiB)
+		small.Wait(p)
+		big.Wait(p)
+		bigDone = p.Sim().Now()
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Shared phase: PCIe 12 GB/s is split proportionally to the nominal
+	// demands (10.9 for node 0, 11.3 for node 1). When the small flow
+	// drains, the big one speeds up to its nominal 11.3 GB/s.
+	smallRate := 12 * 10.9 / (10.9 + 11.3)
+	bigRate := 12 * 11.3 / (10.9 + 11.3)
+	sharedEnd := float64(32*units.MiB) / (smallRate * units.BytesPerGB)
+	bigMoved := bigRate * units.BytesPerGB * sharedEnd
+	rest := (float64(256*units.MiB) - bigMoved) / (11.3 * units.BytesPerGB)
+	want := sharedEnd + rest
+	if math.Abs(bigDone-want) > 1e-6 {
+		t.Errorf("big flow done at %v, want %v (rate re-solve on departure)", bigDone, want)
+	}
+}
+
+func TestFlowsMatchSteadyStateSolver(t *testing.T) {
+	// DES cross-check (DESIGN.md E-series validation): instantaneous
+	// rates of long-lived flows must equal the steady-state solution.
+	sim, flows, sys := newFlowsSim(t)
+	n := 14
+	var handles []*Handle
+	cores := sys.Platform().CoresOfSocket(0)
+	var streams []memsys.Stream
+	for i := 0; i < n; i++ {
+		st := memsys.Stream{ID: i, Kind: memsys.KindCompute, Core: cores[i], Node: 0, Demand: 5}
+		streams = append(streams, st)
+	}
+	comm := memsys.Stream{ID: 1000, Kind: memsys.KindComm, Node: 0}
+	streams = append(streams, comm)
+
+	want, err := sys.Solve(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim.Spawn("main", func(p *Proc) {
+		for _, st := range streams {
+			handles = append(handles, flows.Start(st, units.GiB))
+		}
+		p.Sleep(1e-3) // mid-transfer probe
+		for i, h := range handles {
+			got := h.CurrentRate().GBps()
+			id := streams[i].ID
+			// Flow IDs are assigned by the manager; compare by
+			// aggregate position: compute streams share one rate.
+			var expect float64
+			if streams[i].Kind == memsys.KindComm {
+				expect = want.CommTotal
+			} else {
+				expect = want.ComputeTotal / float64(n)
+			}
+			if math.Abs(got-expect) > 1e-6 {
+				t.Errorf("stream %d: DES rate %v, steady-state %v", id, got, expect)
+			}
+		}
+		for _, h := range handles {
+			h.Wait(p)
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleAccessors(t *testing.T) {
+	sim, flows, _ := newFlowsSim(t)
+	var h *Handle
+	sim.Spawn("main", func(p *Proc) {
+		h = flows.Start(memsys.Stream{Kind: memsys.KindComm, Node: 0}, units.MiB)
+		if h.Done() {
+			t.Error("fresh transfer must not be done")
+		}
+		if h.CompletedAt() != 0 || h.AvgRate() != 0 {
+			t.Error("unfinished transfer must report zero completion stats")
+		}
+		h.Wait(p)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Done() || h.CompletedAt() <= 0 || h.AvgRate() <= 0 {
+		t.Error("finished transfer must report completion stats")
+	}
+	if flows.ActiveCount() != 0 {
+		t.Error("no flows must remain active")
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	sim, flows, _ := newFlowsSim(t)
+	completed := false
+	sim.Spawn("main", func(p *Proc) {
+		h := flows.Start(memsys.Stream{Kind: memsys.KindComm, Node: 0}, 0)
+		h.Wait(p)
+		completed = true
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !completed {
+		t.Error("zero-byte transfer must complete immediately")
+	}
+}
+
+func TestManySmallFlowsDrain(t *testing.T) {
+	sim, flows, sys := newFlowsSim(t)
+	cores := sys.Platform().CoresOfSocket(0)
+	count := 0
+	sim.Spawn("main", func(p *Proc) {
+		var hs []*Handle
+		for i := 0; i < len(cores); i++ {
+			hs = append(hs, flows.Start(memsys.Stream{
+				Kind: memsys.KindCompute, Core: cores[i], Node: 0, Demand: 5,
+			}, units.ByteSize(i+1)*units.MiB))
+		}
+		for _, h := range hs {
+			h.Wait(p)
+			count++
+		}
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(cores) {
+		t.Errorf("drained %d flows, want %d", count, len(cores))
+	}
+}

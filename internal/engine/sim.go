@@ -1,0 +1,239 @@
+// Package engine provides a deterministic discrete-event simulation core
+// with cooperatively scheduled processes and fluid-flow data transfers.
+//
+// Processes (Proc) are goroutines, but exactly one of them — or the
+// scheduler — runs at any instant: control is handed over explicitly, so a
+// simulation is single-threaded in effect and bit-for-bit reproducible.
+// Simulated time only advances in the scheduler, between events.
+//
+// The Flows manager (flows.go) integrates finite-size data transfers whose
+// instantaneous rates come from the memsys solver: whenever a transfer
+// starts or completes, all rates are re-solved, which is exactly the fluid
+// approximation of bandwidth sharing the paper's steady-state measurements
+// assume.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// event is a scheduled callback. Events at equal times fire in scheduling
+// order (seq), which keeps the simulation deterministic.
+type event struct {
+	time float64
+	seq  int64
+	fire func()
+	// cancelled events stay in the heap but do nothing when popped.
+	cancelled bool
+	index     int
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a simulation instance. Create one with NewSim, spawn processes,
+// then call Run. A Sim must not be shared between concurrently running
+// simulations; all access happens in scheduler or process context.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	procs  []*Proc
+	// yield carries control from the running process back to the
+	// scheduler; each Proc has its own resume channel.
+	yield   chan struct{}
+	running bool
+	failure error
+}
+
+// NewSim returns an empty simulation at time zero.
+func NewSim() *Sim {
+	return &Sim{yield: make(chan struct{})}
+}
+
+// Now reports the current simulated time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run in scheduler context at absolute time t (clamped
+// to now). It returns a handle that can cancel the event.
+func (s *Sim) At(t float64, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	e := &event{time: t, seq: s.seq, fire: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn after a delay d >= 0.
+func (s *Sim) After(d float64, fn func()) *Timer {
+	if d < 0 || math.IsNaN(d) {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Timer is a cancellable scheduled event.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling a fired or already
+// cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.cancelled = true
+	}
+}
+
+// Proc is a simulated process. Its methods must only be called from the
+// process's own goroutine (inside the function passed to Spawn).
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+	done   bool
+	parked bool
+}
+
+// Name reports the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Spawn creates a process that will start at the current simulated time.
+// It may be called before Run or from any running process.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.procs = append(s.procs, p)
+	s.At(s.now, func() {
+		go func() {
+			defer func() {
+				if r := recover(); r != nil && s.failure == nil {
+					s.failure = fmt.Errorf("engine: process %q panicked: %v", name, r)
+				}
+				p.done = true
+				s.yield <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-s.yield // wait until the new process parks or finishes
+	})
+	return p
+}
+
+// park suspends the calling process and returns control to the scheduler.
+// The process resumes when some event sends on p.resume.
+func (p *Proc) park() {
+	p.parked = true
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	p.parked = false
+}
+
+// wake resumes a parked process from scheduler context and waits for it to
+// park again or finish.
+func (s *Sim) wake(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// Sleep suspends the process for d simulated seconds (d < 0 is treated as
+// zero, which still yields to the scheduler once).
+func (p *Proc) Sleep(d float64) {
+	s := p.sim
+	s.After(d, func() { s.wake(p) })
+	p.park()
+}
+
+// Signal is a broadcast condition processes can wait on. The zero value is
+// not usable; create signals with NewSignal.
+type Signal struct {
+	sim     *Sim
+	waiters []*Proc
+}
+
+// NewSignal returns a signal bound to the simulation.
+func (s *Sim) NewSignal() *Signal { return &Signal{sim: s} }
+
+// Wait parks the calling process until the next Fire.
+func (sg *Signal) Wait(p *Proc) {
+	sg.waiters = append(sg.waiters, p)
+	p.park()
+}
+
+// Fire wakes every current waiter (in wait order) at the current time.
+// It may be called from process or scheduler context.
+func (sg *Signal) Fire() {
+	waiters := sg.waiters
+	sg.waiters = nil
+	for _, w := range waiters {
+		w := w
+		sg.sim.At(sg.sim.now, func() { sg.sim.wake(w) })
+	}
+}
+
+// Run executes the simulation until no events remain. It returns an error
+// if a process panicked or if processes remain parked with no pending
+// event that could wake them (deadlock).
+func (s *Sim) Run() error {
+	if s.running {
+		return fmt.Errorf("engine: Run called re-entrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.cancelled {
+			continue
+		}
+		if e.time < s.now {
+			return fmt.Errorf("engine: event time went backwards (%.9f < %.9f)", e.time, s.now)
+		}
+		s.now = e.time
+		e.fire()
+		if s.failure != nil {
+			return s.failure
+		}
+	}
+	var stuck []string
+	for _, p := range s.procs {
+		if !p.done {
+			stuck = append(stuck, p.name)
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("engine: deadlock, %d process(es) still waiting: %v", len(stuck), stuck)
+	}
+	return nil
+}

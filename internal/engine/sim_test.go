@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(2.0, func() { order = append(order, 2) })
+	s.At(1.0, func() { order = append(order, 1) })
+	s.At(3.0, func() { order = append(order, 3) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events fired out of order: %v", order)
+	}
+	if s.Now() != 3.0 {
+		t.Errorf("final time %v, want 3.0", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(1.0, func() { order = append(order, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events must fire in scheduling order, got %v", order)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	tm := s.At(1.0, func() { fired = true })
+	tm.Cancel()
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+	tm.Cancel() // double cancel is a no-op
+	var nilTimer *Timer
+	nilTimer.Cancel() // nil-safe
+}
+
+func TestAfterClampsNegative(t *testing.T) {
+	s := NewSim()
+	at := -1.0
+	s.After(-5, func() { at = s.Now() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Errorf("negative delay must clamp to now, fired at %v", at)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := NewSim()
+	var wake []float64
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(1.5)
+		wake = append(wake, p.Sim().Now())
+		p.Sleep(0.5)
+		wake = append(wake, p.Sim().Now())
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wake) != 2 || wake[0] != 1.5 || wake[1] != 2.0 {
+		t.Errorf("sleep times wrong: %v", wake)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		s := NewSim()
+		var log []string
+		for _, name := range []string{"a", "b"} {
+			name := name
+			s.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					log = append(log, name)
+					p.Sleep(1)
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if strings.Join(run(), "") != strings.Join(first, "") {
+			t.Fatal("process interleaving is not deterministic")
+		}
+	}
+}
+
+func TestSignalWakesAllWaiters(t *testing.T) {
+	s := NewSim()
+	sig := s.NewSignal()
+	woken := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("waiter", func(p *Proc) {
+			sig.Wait(p)
+			woken++
+		})
+	}
+	s.Spawn("firer", func(p *Proc) {
+		p.Sleep(1)
+		sig.Fire()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3 {
+		t.Errorf("woken = %d, want 3", woken)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := NewSim()
+	sig := s.NewSignal()
+	s.Spawn("stuck", func(p *Proc) {
+		sig.Wait(p) // never fired
+	})
+	err := s.Run()
+	if err == nil {
+		t.Fatal("deadlocked simulation must return an error")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("deadlock error must name the process: %v", err)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := NewSim()
+	var childAt float64
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		p.Sim().Spawn("child", func(c *Proc) {
+			c.Sleep(1)
+			childAt = c.Sim().Now()
+		})
+		p.Sleep(5)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 2.0 {
+		t.Errorf("child finished at %v, want 2.0", childAt)
+	}
+}
+
+func TestProcessPanicSurfaces(t *testing.T) {
+	s := NewSim()
+	s.Spawn("bomb", func(p *Proc) {
+		panic("boom")
+	})
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("panic must surface as error, got %v", err)
+	}
+}
+
+func TestRunTwice(t *testing.T) {
+	s := NewSim()
+	s.At(1, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Run with new events continues from the current time.
+	fired := false
+	s.At(2, func() { fired = true })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("second Run must process new events")
+	}
+}
+
+func TestProcName(t *testing.T) {
+	s := NewSim()
+	var got string
+	s.Spawn("my-rank", func(p *Proc) { got = p.Name() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "my-rank" {
+		t.Errorf("Name() = %q", got)
+	}
+}
+
+func TestSignalFireWithoutWaiters(t *testing.T) {
+	s := NewSim()
+	sig := s.NewSignal()
+	s.At(1, func() { sig.Fire() }) // no waiters: must be a no-op
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventSchedulingInsideEvent(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(1, func() {
+		order = append(order, 1)
+		s.At(1, func() { order = append(order, 2) })   // same time, later seq
+		s.At(0.5, func() { order = append(order, 3) }) // past: clamped to now
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("nested scheduling order = %v", order)
+	}
+}
+
+func TestManyProcsStress(t *testing.T) {
+	s := NewSim()
+	const procs = 200
+	done := 0
+	for i := 0; i < procs; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(float64(i%7) * 1e-4)
+			done++
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != procs {
+		t.Errorf("%d/%d processes completed", done, procs)
+	}
+}

@@ -1,0 +1,157 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"memcontention/internal/export"
+	"memcontention/internal/model"
+)
+
+// FigurePoint is one x position of a figure subplot: measured bandwidths
+// (alone and parallel) plus model predictions, as plotted in Figures 3–8.
+type FigurePoint struct {
+	N         int     `json:"n"`
+	CompAlone float64 `json:"comp_alone"`
+	CommAlone float64 `json:"comm_alone"`
+	CompPar   float64 `json:"comp_par"`
+	CommPar   float64 `json:"comm_par"`
+	PredComp  float64 `json:"pred_comp"`
+	PredComm  float64 `json:"pred_comm"`
+}
+
+// FigureSubplot is one placement's panel.
+type FigureSubplot struct {
+	Placement model.Placement `json:"placement"`
+	IsSample  bool            `json:"is_sample"`
+	Points    []FigurePoint   `json:"points"`
+}
+
+// Figure is the full multi-panel dataset for one platform (Figures 3–8).
+type Figure struct {
+	Name     string          `json:"name"`
+	Platform string          `json:"platform"`
+	Subplots []FigureSubplot `json:"subplots"`
+}
+
+// FigureFor assembles the figure dataset from a platform evaluation.
+// name is the paper's figure label (e.g. "figure3").
+func FigureFor(name string, r *PlatformResult) *Figure {
+	fig := &Figure{Name: name, Platform: r.Platform}
+	for _, pr := range r.Placements {
+		sp := FigureSubplot{Placement: pr.Placement, IsSample: pr.IsSample}
+		for i, pt := range pr.Measured.Points {
+			sp.Points = append(sp.Points, FigurePoint{
+				N:         pt.N,
+				CompAlone: pt.CompAlone,
+				CommAlone: pt.CommAlone,
+				CompPar:   pt.CompPar,
+				CommPar:   pt.CommPar,
+				PredComp:  pr.Predicted[i].Comp,
+				PredComm:  pr.Predicted[i].Comm,
+			})
+		}
+		fig.Subplots = append(fig.Subplots, sp)
+	}
+	return fig
+}
+
+// WriteCSV emits the figure as one flat CSV (subplot columns included).
+func (f *Figure) WriteCSV(w io.Writer) error {
+	t := export.NewTable("",
+		"platform", "comp_node", "comm_node", "is_sample", "n",
+		"comp_alone", "comm_alone", "comp_par", "comm_par", "pred_comp", "pred_comm")
+	for _, sp := range f.Subplots {
+		for _, p := range sp.Points {
+			t.AddRow(
+				f.Platform,
+				fmt.Sprint(int(sp.Placement.Comp)), fmt.Sprint(int(sp.Placement.Comm)),
+				fmt.Sprint(sp.IsSample), fmt.Sprint(p.N),
+				export.GBs(p.CompAlone), export.GBs(p.CommAlone),
+				export.GBs(p.CompPar), export.GBs(p.CommPar),
+				export.GBs(p.PredComp), export.GBs(p.PredComm),
+			)
+		}
+	}
+	return t.WriteCSV(w)
+}
+
+// StackedPoint is one x position of the Figure 2 stacked representation:
+// the parallel bandwidths stacked (comp at the bottom, comm on top) plus
+// the compute-alone curve.
+type StackedPoint struct {
+	N          int     `json:"n"`
+	CompPar    float64 `json:"comp_par"`
+	CommPar    float64 `json:"comm_par"`
+	TotalPar   float64 `json:"total_par"`
+	CompAlone  float64 `json:"comp_alone"`
+	PredTotalT float64 `json:"pred_total_t"` // the model's T(n) capacity
+}
+
+// Stacked is the Figure 2 dataset: the stacked series plus the model's
+// characteristic points annotated on the plot.
+type Stacked struct {
+	Platform  string          `json:"platform"`
+	Placement model.Placement `json:"placement"`
+	Points    []StackedPoint  `json:"points"`
+	// The annotated parameter points of Figure 2.
+	Params model.Params `json:"params"`
+}
+
+// StackedFor builds the Figure 2 dataset from a platform evaluation for
+// one placement (the paper uses henri-subnuma comp@0/comm@0).
+func StackedFor(r *PlatformResult, pl model.Placement) (*Stacked, error) {
+	params := r.Model.Local
+	if int(pl.Comp) >= r.Model.NodesPerSocket {
+		params = r.Model.Remote
+	}
+	for _, pr := range r.Placements {
+		if pr.Placement != pl {
+			continue
+		}
+		st := &Stacked{Platform: r.Platform, Placement: pl, Params: params}
+		for _, pt := range pr.Measured.Points {
+			st.Points = append(st.Points, StackedPoint{
+				N:          pt.N,
+				CompPar:    pt.CompPar,
+				CommPar:    pt.CommPar,
+				TotalPar:   pt.TotalPar(),
+				CompAlone:  pt.CompAlone,
+				PredTotalT: params.TotalBandwidth(pt.N),
+			})
+		}
+		return st, nil
+	}
+	return nil, fmt.Errorf("eval: placement %v not in results for %s", pl, r.Platform)
+}
+
+// WriteCSV emits the stacked dataset.
+func (s *Stacked) WriteCSV(w io.Writer) error {
+	t := export.NewTable("", "n", "comp_par", "comm_par", "total_par", "comp_alone", "model_T")
+	for _, p := range s.Points {
+		t.AddRow(fmt.Sprint(p.N),
+			export.GBs(p.CompPar), export.GBs(p.CommPar), export.GBs(p.TotalPar),
+			export.GBs(p.CompAlone), export.GBs(p.PredTotalT))
+	}
+	return t.WriteCSV(w)
+}
+
+// FigureNameFor maps platform names to the paper's figure numbering.
+func FigureNameFor(platform string) string {
+	switch platform {
+	case "henri":
+		return "figure3"
+	case "henri-subnuma":
+		return "figure4"
+	case "diablo":
+		return "figure5"
+	case "occigen":
+		return "figure6"
+	case "pyxis":
+		return "figure7"
+	case "dahu":
+		return "figure8"
+	default:
+		return "figure-" + platform
+	}
+}

@@ -1,0 +1,104 @@
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Title line", "name", "value", "unit")
+	t.AddRow("alpha", "1.25", "GB/s")
+	t.AddRow("beta", "0.5")
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows => 5? title+header+rule+2
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.HasPrefix(out, "Title line\n") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "GB/s") {
+		t.Error("cells missing")
+	}
+	// Columns aligned: header "name" padded to width of "alpha".
+	headerLine := lines[1]
+	if !strings.HasPrefix(headerLine, "name ") {
+		t.Errorf("header not padded: %q", headerLine)
+	}
+	// Short rows padded with empty cells (no panic, row present).
+	if !strings.Contains(out, "beta") {
+		t.Error("short row missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("CSV records = %d, want 3 (header + 2 rows)", len(recs))
+	}
+	if recs[0][0] != "name" || recs[1][0] != "alpha" {
+		t.Error("CSV content wrong")
+	}
+	if len(recs[2]) != 3 || recs[2][2] != "" {
+		t.Error("short rows must be padded in CSV too")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	if s := sampleTable().String(); !strings.Contains(s, "alpha") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRowf("", 1.5, "x")
+	if tab.Rows[0][0] != "1.5" || tab.Rows[0][1] != "x" {
+		t.Errorf("AddRowf row = %v", tab.Rows[0])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]int
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["x"] != 1 {
+		t.Error("JSON round trip failed")
+	}
+	if !strings.Contains(b.String(), "\n") {
+		t.Error("JSON must be indented")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(3.456) != "3.46 %" {
+		t.Errorf("Pct = %q", Pct(3.456))
+	}
+	if GBs(10.125) != "10.12" && GBs(10.125) != "10.13" {
+		t.Errorf("GBs = %q", GBs(10.125))
+	}
+}

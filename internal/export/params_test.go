@@ -1,0 +1,36 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"memcontention/internal/model"
+)
+
+func TestParamsTable(t *testing.T) {
+	m := model.Model{
+		Local: model.Params{
+			NParMax: 12, TParMax: 70, NSeqMax: 14, TSeqMax: 66, TPar2: 66,
+			DeltaL: 2, DeltaR: 0.6, BCompSeq: 5, BCommSeq: 11, Alpha: 0.25,
+		},
+		Remote: model.Params{
+			NParMax: 8, TParMax: 40, NSeqMax: 10, TSeqMax: 34, TPar2: 36,
+			DeltaL: 2, DeltaR: 0.5, BCompSeq: 3.4, BCommSeq: 11.5, Alpha: 0.25,
+		},
+		NodesPerSocket: 2,
+	}
+	tbl := ParamsTable("title", m)
+	if len(tbl.Rows) != 11 {
+		t.Fatalf("params table has %d rows, want 11", len(tbl.Rows))
+	}
+	text := tbl.String()
+	for _, want := range []string{"N_par_max", "δl", "α", "B_comm_seq", "70.00", "3.40", "0.250", "title"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("params table missing %q", want)
+		}
+	}
+	// The #m row carries the placement-combination input.
+	if !strings.Contains(text, "NUMA nodes per socket") {
+		t.Error("missing #m row")
+	}
+}

@@ -1,0 +1,57 @@
+package hwloc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws an lstopo-style ASCII picture of the machine: sockets as
+// boxes containing their NUMA nodes and core ranges, the NIC attached to
+// its node, and the inter-socket link between the boxes.
+func (t *Topology) Render() string {
+	p := t.plat
+	var boxes []string
+	for _, sk := range p.Sockets {
+		var lines []string
+		lines = append(lines, fmt.Sprintf("Socket %d", sk.ID))
+		for _, nd := range sk.Nodes {
+			nodeLine := fmt.Sprintf("NUMANode %d (%d GB)", nd, p.Nodes[nd].MemoryGB)
+			if p.NIC.Node == nd {
+				nodeLine += fmt.Sprintf("  ← NIC %s (%s)", p.NIC.Name, p.NIC.Tech)
+			}
+			lines = append(lines, nodeLine)
+			cores := t.NodeSet(nd)
+			lines = append(lines, fmt.Sprintf("  cores %s", cores))
+		}
+		boxes = append(boxes, boxAround(lines))
+	}
+	link := fmt.Sprintf("  │ %s │  ", p.Link.Name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Name)
+	for i, box := range boxes {
+		if i > 0 {
+			b.WriteString(link)
+			b.WriteByte('\n')
+		}
+		b.WriteString(box)
+	}
+	return b.String()
+}
+
+// boxAround wraps lines in a unicode box.
+func boxAround(lines []string) string {
+	width := 0
+	for _, l := range lines {
+		if n := len([]rune(l)); n > width {
+			width = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "┌%s┐\n", strings.Repeat("─", width+2))
+	for _, l := range lines {
+		pad := width - len([]rune(l))
+		fmt.Fprintf(&b, "│ %s%s │\n", l, strings.Repeat(" ", pad))
+	}
+	fmt.Fprintf(&b, "└%s┘\n", strings.Repeat("─", width+2))
+	return b.String()
+}

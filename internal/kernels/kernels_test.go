@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"testing"
+
+	"memcontention/internal/memsys"
+	"memcontention/internal/topology"
+)
+
+func TestBuiltinKernels(t *testing.T) {
+	cases := []struct {
+		kind        Kind
+		name        string
+		reads       int
+		writes      int
+		nonTemporal bool
+		memoryBound bool
+	}{
+		{NTMemset, "nt-memset", 0, 1, true, true},
+		{Copy, "copy", 1, 1, true, true},
+		{Triad, "triad", 2, 1, true, true},
+		{Load, "load", 1, 0, false, true},
+	}
+	for _, c := range cases {
+		k := New(c.kind)
+		if k.String() != c.name {
+			t.Errorf("%v name = %q, want %q", c.kind, k.String(), c.name)
+		}
+		if k.ReadStreams != c.reads || k.WriteStreams != c.writes {
+			t.Errorf("%s streams = (%d,%d), want (%d,%d)", c.name, k.ReadStreams, k.WriteStreams, c.reads, c.writes)
+		}
+		if k.NonTemporal != c.nonTemporal {
+			t.Errorf("%s NonTemporal = %v", c.name, k.NonTemporal)
+		}
+		if k.MemoryBound() != c.memoryBound {
+			t.Errorf("%s MemoryBound = %v", c.name, k.MemoryBound())
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s validate: %v", c.name, err)
+		}
+	}
+	// The calibration kernel is the demand baseline.
+	if New(NTMemset).DemandFactor != 1.0 {
+		t.Error("nt-memset must be the demand baseline (factor 1)")
+	}
+	if New(Copy).DemandFactor <= 1.0 || New(Triad).DemandFactor <= New(Copy).DemandFactor {
+		t.Error("multi-stream kernels must demand more than memset, triad more than copy")
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	k := New(Kind(42))
+	if k.String() == "" {
+		t.Error("unknown kernel must still render")
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	bad := []Kernel{
+		{},                // no streams
+		{ReadStreams: -1}, // negative
+		{WriteStreams: 1}, // zero demand factor
+		{WriteStreams: 1, DemandFactor: 1, ArithmeticIntensity: -1},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("bad kernel %d accepted", i)
+		}
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	plat := topology.Henri()
+	good := Assignment{Kernel: New(NTMemset), Cores: []topology.CoreID{0, 1, 2}, Node: 0}
+	if err := good.Validate(plat); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Assignment{
+		{Kernel: New(NTMemset), Cores: nil, Node: 0},
+		{Kernel: New(NTMemset), Cores: []topology.CoreID{0}, Node: 99},
+		{Kernel: New(NTMemset), Cores: []topology.CoreID{99}, Node: 0},
+		{Kernel: New(NTMemset), Cores: []topology.CoreID{1, 1}, Node: 0},
+		{Kernel: Kernel{}, Cores: []topology.CoreID{0}, Node: 0},
+	}
+	for i, a := range bad {
+		if err := a.Validate(plat); err == nil {
+			t.Errorf("bad assignment %d accepted", i)
+		}
+	}
+}
+
+func TestAssignmentStreams(t *testing.T) {
+	prof, err := memsys.ProfileFor("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(topology.Henri(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Assignment{Kernel: New(Copy), Cores: []topology.CoreID{0, 1, 2}, Node: 1}
+	streams, err := a.Streams(sys, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) != 3 {
+		t.Fatalf("got %d streams, want 3 (one per core)", len(streams))
+	}
+	for i, st := range streams {
+		if st.ID != 100+i {
+			t.Errorf("stream %d id = %d, want %d", i, st.ID, 100+i)
+		}
+		if st.Kind != memsys.KindCompute || st.Node != 1 {
+			t.Errorf("stream %d misdescribed: %+v", i, st)
+		}
+		// Copy kernel against a remote node: remote per-core rate
+		// scaled by the copy demand factor.
+		want := prof.PerCoreRemote * New(Copy).DemandFactor
+		if st.Demand != want {
+			t.Errorf("stream %d demand = %v, want %v", i, st.Demand, want)
+		}
+	}
+	// Invalid assignments propagate errors.
+	if _, err := (Assignment{Kernel: New(Copy), Cores: []topology.CoreID{99}, Node: 0}).Streams(sys, 0); err == nil {
+		t.Error("invalid assignment must not produce streams")
+	}
+}
+
+func TestBytesPerIteration(t *testing.T) {
+	if got := New(Triad).BytesPerIteration(1000); got != 3*8*1000 {
+		t.Errorf("triad bytes/iter = %d, want %d", got, 3*8*1000)
+	}
+	if got := New(NTMemset).BytesPerIteration(1000); got != 8*1000 {
+		t.Errorf("memset bytes/iter = %d, want %d", got, 8*1000)
+	}
+}
+
+func TestKernelCustomName(t *testing.T) {
+	k := New(NTMemset)
+	k.Name = "my-kernel"
+	if k.String() != "my-kernel" {
+		t.Error("custom name must win")
+	}
+}

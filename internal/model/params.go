@@ -1,0 +1,216 @@
+// Package model implements the paper's contribution: the threshold model
+// of §III predicting the memory bandwidth available to computations and to
+// communications when they run side by side on one socket of a NUMA
+// machine.
+//
+// A Params value is one model instantiation (the paper's M_local or
+// M_remote); a Model combines the two instantiations with the machine's
+// NUMA layout to predict every data-placement configuration (§III-C,
+// equations 6 and 7).
+//
+// Equation numbering in the comments follows the paper.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params is the parameter set of one model instantiation (§III-A).
+type Params struct {
+	// NParMax, TParMax: the maximum total memory bandwidth reached when
+	// computations and communications run simultaneously, and the
+	// number of computing cores reaching it.
+	NParMax int     `json:"n_par_max"`
+	TParMax float64 `json:"t_par_max"`
+
+	// NSeqMax, TSeqMax: the maximum memory bandwidth reached by
+	// computations alone, and the number of cores reaching it.
+	NSeqMax int     `json:"n_seq_max"`
+	TSeqMax float64 `json:"t_seq_max"`
+
+	// TPar2 is the total bandwidth with communications and NSeqMax
+	// computing cores (the paper's T^max2_par).
+	TPar2 float64 `json:"t_par2"`
+
+	// DeltaL and DeltaR are the total-bandwidth losses per additional
+	// computing core, respectively between NParMax and NSeqMax cores
+	// and beyond NSeqMax cores.
+	DeltaL float64 `json:"delta_l"`
+	DeltaR float64 `json:"delta_r"`
+
+	// BCompSeq is the memory bandwidth of a single computing core.
+	BCompSeq float64 `json:"b_comp_seq"`
+
+	// BCommSeq is the communication bandwidth with no computation.
+	BCommSeq float64 `json:"b_comm_seq"`
+
+	// Alpha is the worst-case fraction of BCommSeq still granted to
+	// communications under contention: α = min_i Bcomm_par(i)/Bcomm_seq.
+	Alpha float64 `json:"alpha"`
+}
+
+// Validate checks the structural constraints of §III-A. DeltaL/DeltaR may
+// be slightly negative on contention-free machines (the measured total
+// keeps growing past the detected maximum); that is accepted.
+func (p Params) Validate() error {
+	var errs []error
+	if p.NParMax < 1 {
+		errs = append(errs, fmt.Errorf("NParMax must be ≥ 1, got %d", p.NParMax))
+	}
+	if p.NSeqMax < 1 {
+		errs = append(errs, fmt.Errorf("NSeqMax must be ≥ 1, got %d", p.NSeqMax))
+	}
+	if p.NParMax > p.NSeqMax {
+		errs = append(errs, fmt.Errorf("NParMax (%d) must not exceed NSeqMax (%d)", p.NParMax, p.NSeqMax))
+	}
+	if p.TParMax <= 0 || p.TSeqMax <= 0 || p.TPar2 <= 0 {
+		errs = append(errs, fmt.Errorf("bandwidth maxima must be positive (TParMax=%.2f TSeqMax=%.2f TPar2=%.2f)", p.TParMax, p.TSeqMax, p.TPar2))
+	}
+	if p.BCompSeq <= 0 {
+		errs = append(errs, fmt.Errorf("BCompSeq must be positive, got %.3f", p.BCompSeq))
+	}
+	if p.BCommSeq <= 0 {
+		errs = append(errs, fmt.Errorf("BCommSeq must be positive, got %.3f", p.BCommSeq))
+	}
+	if p.Alpha <= 0 || p.Alpha > 1+1e-9 {
+		errs = append(errs, fmt.Errorf("Alpha must be in (0,1], got %.4f", p.Alpha))
+	}
+	for _, v := range []float64{p.TParMax, p.TSeqMax, p.TPar2, p.DeltaL, p.DeltaR, p.BCompSeq, p.BCommSeq, p.Alpha} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			errs = append(errs, fmt.Errorf("non-finite parameter value"))
+			break
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// TotalBandwidth is equation (1): the total bandwidth T(n) the memory
+// system can support with n computing cores plus communications.
+//
+//	T(n) = TParMax                      if n ≤ NParMax
+//	     = TParMax − δl·(n − NParMax)   if NParMax < n ≤ NSeqMax
+//	     = TPar2   − δr·(n − NSeqMax)   otherwise
+func (p Params) TotalBandwidth(n int) float64 {
+	switch {
+	case n <= p.NParMax:
+		return p.TParMax
+	case n <= p.NSeqMax:
+		return p.TParMax - p.DeltaL*float64(n-p.NParMax)
+	default:
+		return p.TPar2 - p.DeltaR*float64(n-p.NSeqMax)
+	}
+}
+
+// Required is equation (2): the bandwidth R(n) needed to serve the full
+// compute demand plus the guaranteed communication minimum.
+//
+//	R(n) = n·BCompSeq + α·BCommSeq
+func (p Params) Required(n int) float64 {
+	return float64(n)*p.BCompSeq + p.Alpha*p.BCommSeq
+}
+
+// saturated reports whether the memory bus cannot satisfy R(n), i.e. the
+// "otherwise" branch of equations (3) and (4).
+func (p Params) saturated(n int) bool {
+	return p.Required(n) >= p.TotalBandwidth(n)
+}
+
+// CompPar is equation (3): the memory bandwidth granted to n computing
+// cores when communications run in parallel.
+//
+//	Bcomp_par(n) = n·BCompSeq            if R(n) < T(n)
+//	             = T(n) − Bcomm_par(n)   otherwise
+func (p Params) CompPar(n int) float64 {
+	if !p.saturated(n) {
+		return float64(n) * p.BCompSeq
+	}
+	v := p.TotalBandwidth(n) - p.CommPar(n)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// CommPar is equation (4): the bandwidth granted to communications with n
+// computing cores in parallel.
+//
+//	Bcomm_par(n) = min(T(n) − Bcomp_par(n), BCommSeq)   if R(n) < T(n)
+//	             = α(n)·BCommSeq                        otherwise
+func (p Params) CommPar(n int) float64 {
+	if !p.saturated(n) {
+		return p.commParUnsat(n)
+	}
+	return p.AlphaN(n) * p.BCommSeq
+}
+
+// commParUnsat is the first branch of equation (4); in that branch
+// Bcomp_par(n) is the unsaturated n·BCompSeq, avoiding mutual recursion.
+func (p Params) commParUnsat(n int) float64 {
+	v := math.Min(p.TotalBandwidth(n)-float64(n)*p.BCompSeq, p.BCommSeq)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// lastUnsaturated returns i = max{ j ≥ 0 | R(j) < T(j) }, the reference
+// point of equation (5). R is increasing in n and the model is evaluated
+// from 0 cores upward, so the set is a prefix; with R(0) ≥ T(0) the
+// returned index is 0.
+func (p Params) lastUnsaturated() int {
+	i := 0
+	// The scan is bounded by NSeqMax: equation (5) only uses i when
+	// interpolating below NSeqMax.
+	for j := 1; j <= p.NSeqMax; j++ {
+		if p.saturated(j) {
+			break
+		}
+		i = j
+	}
+	return i
+}
+
+// AlphaN is equation (5): the communication impact factor. Beyond NSeqMax
+// cores (or when the interpolation region is degenerate) it is the
+// calibrated worst-case α; between the last unsaturated point i and
+// NSeqMax it interpolates linearly from Bcomm_par(i)/BCommSeq down to α so
+// that communication bandwidth does not drop abruptly.
+func (p Params) AlphaN(n int) float64 {
+	if p.NSeqMax-p.NParMax <= 1 || n >= p.NSeqMax {
+		return p.Alpha
+	}
+	i := p.lastUnsaturated()
+	if i >= p.NSeqMax { // never saturated below NSeqMax: no interpolation needed
+		return p.Alpha
+	}
+	ratioI := p.commParUnsat(i) / p.BCommSeq
+	t := float64(n-i) / float64(p.NSeqMax-i)
+	a := ratioI - (ratioI-p.Alpha)*t
+	if a < p.Alpha {
+		return p.Alpha
+	}
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// CompAlone is equation (8): the bandwidth of n computing cores with no
+// communication.
+//
+//	Bcomp_seq(n) = min(n·BCompSeq, T(n), TSeqMax)
+func (p Params) CompAlone(n int) float64 {
+	return math.Min(float64(n)*p.BCompSeq, math.Min(p.TotalBandwidth(n), p.TSeqMax))
+}
+
+// CommAlone is the nominal communication bandwidth BCommSeq.
+func (p Params) CommAlone() float64 { return p.BCommSeq }
+
+// String renders the parameter set compactly.
+func (p Params) String() string {
+	return fmt.Sprintf(
+		"Params{NPar=%d TPar=%.1f NSeq=%d TSeq=%.1f TPar2=%.1f δl=%.2f δr=%.2f Bcomp=%.2f Bcomm=%.2f α=%.3f}",
+		p.NParMax, p.TParMax, p.NSeqMax, p.TSeqMax, p.TPar2, p.DeltaL, p.DeltaR, p.BCompSeq, p.BCommSeq, p.Alpha)
+}

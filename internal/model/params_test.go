@@ -1,0 +1,272 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// refParams is a hand-built instantiation shaped like the paper's henri
+// local model: NPar=12, NSeq=14.
+func refParams() Params {
+	return Params{
+		NParMax: 12, TParMax: 70,
+		NSeqMax: 14, TSeqMax: 66,
+		TPar2:  66,
+		DeltaL: 2.0, DeltaR: 0.6,
+		BCompSeq: 5.0,
+		BCommSeq: 11.0,
+		Alpha:    0.25,
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEquation1Total(t *testing.T) {
+	p := refParams()
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 70},    // plateau
+		{12, 70},   // plateau edge
+		{13, 68},   // 70 − 2·1
+		{14, 66},   // 70 − 2·2 = TPar2
+		{15, 65.4}, // 66 − 0.6·1
+		{18, 63.6}, // 66 − 0.6·4
+	}
+	for _, c := range cases {
+		if got := p.TotalBandwidth(c.n); !almost(got, c.want) {
+			t.Errorf("T(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEquation2Required(t *testing.T) {
+	p := refParams()
+	if got := p.Required(10); !almost(got, 50+0.25*11) {
+		t.Errorf("R(10) = %v", got)
+	}
+}
+
+func TestEquations3and4Unsaturated(t *testing.T) {
+	p := refParams()
+	// n=10: R = 52.75 < T = 70 — perfect compute scaling, comm gets the
+	// leftover capped at nominal.
+	if got := p.CompPar(10); !almost(got, 50) {
+		t.Errorf("CompPar(10) = %v, want 50", got)
+	}
+	if got := p.CommPar(10); !almost(got, 11) {
+		t.Errorf("CommPar(10) = %v, want 11 (leftover 20 capped at nominal)", got)
+	}
+	// n=12: leftover = 70 − 60 = 10 < nominal 11.
+	if got := p.CommPar(12); !almost(got, 10) {
+		t.Errorf("CommPar(12) = %v, want 10", got)
+	}
+	if got := p.CompPar(12); !almost(got, 60) {
+		t.Errorf("CompPar(12) = %v, want 60", got)
+	}
+}
+
+func TestEquations3and4Saturated(t *testing.T) {
+	p := refParams()
+	// n=16 > NSeqMax: α(n) = α, comm = 2.75, comp = T − comm.
+	wantComm := 0.25 * 11
+	if got := p.CommPar(16); !almost(got, wantComm) {
+		t.Errorf("CommPar(16) = %v, want %v", got, wantComm)
+	}
+	wantComp := p.TotalBandwidth(16) - wantComm
+	if got := p.CompPar(16); !almost(got, wantComp) {
+		t.Errorf("CompPar(16) = %v, want %v", got, wantComp)
+	}
+}
+
+func TestEquation5Interpolation(t *testing.T) {
+	p := refParams()
+	// The last unsaturated point: R(n) < T(n). R(12)=62.75 < 70,
+	// R(13)=67.75 < 68? No: 67.75 < 68 holds, so i = 13.
+	if i := p.lastUnsaturated(); i != 13 {
+		t.Fatalf("lastUnsaturated = %d, want 13", i)
+	}
+	// With i = 13 = NSeqMax−1 there is exactly one interpolation point
+	// (none strictly between), so α(n<NSeq) values come from the line
+	// (13, ratio13) → (14, α). α(13): saturated? R(13)=67.75 ≥ T(13)=68
+	// is false, so CommPar(13) uses the unsaturated branch anyway.
+	if got := p.CommPar(13); !almost(got, 68-65) {
+		t.Errorf("CommPar(13) = %v, want 3 (leftover)", got)
+	}
+	// Force a wide interpolation region: steeper δl.
+	p2 := refParams()
+	p2.DeltaL = 4
+	// T: 70, 66, 62 for n=12,13,14. R: 62.75, 67.75, 72.75 → i=12.
+	if i := p2.lastUnsaturated(); i != 12 {
+		t.Fatalf("lastUnsaturated = %d, want 12", i)
+	}
+	ratio12 := p2.commParUnsat(12) / p2.BCommSeq // min(70−60,11)/11 = 10/11
+	wantAlpha13 := ratio12 - (ratio12-p2.Alpha)/2
+	if got := p2.AlphaN(13); !almost(got, wantAlpha13) {
+		t.Errorf("α(13) = %v, want %v (midpoint of interpolation)", got, wantAlpha13)
+	}
+	if got := p2.AlphaN(14); !almost(got, p2.Alpha) {
+		t.Errorf("α(NSeqMax) = %v, want α", got)
+	}
+	if got := p2.AlphaN(20); !almost(got, p2.Alpha) {
+		t.Errorf("α beyond NSeqMax = %v, want α", got)
+	}
+}
+
+func TestAlphaNDegenerateRegion(t *testing.T) {
+	// NSeqMax − NParMax ≤ 1: no interpolation, always α.
+	p := refParams()
+	p.NParMax = 14
+	for n := 1; n <= 18; n++ {
+		if p.saturated(n) {
+			if got := p.AlphaN(n); !almost(got, p.Alpha) {
+				t.Errorf("degenerate α(%d) = %v, want α", n, got)
+			}
+		}
+	}
+}
+
+func TestEquation8CompAlone(t *testing.T) {
+	p := refParams()
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{1, 5},
+		{10, 50},
+		{13, 65},   // 5·13 < min(T(13)=68, 66)
+		{14, 66},   // capped by TSeqMax
+		{16, 64.8}, // capped by T(16) = 66 − 1.2
+	}
+	for _, c := range cases {
+		if got := p.CompAlone(c.n); !almost(got, c.want) {
+			t.Errorf("CompAlone(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCommAlone(t *testing.T) {
+	p := refParams()
+	if p.CommAlone() != 11 {
+		t.Error("CommAlone must be BCommSeq")
+	}
+}
+
+// TestModelInvariants checks structural properties of the equations over
+// random valid parameter sets.
+func TestModelInvariants(t *testing.T) {
+	gen := func(a, b, c, d, e uint8) Params {
+		p := Params{
+			NParMax:  int(a%10) + 2,
+			NSeqMax:  int(a%10) + 2 + int(b%5),
+			BCompSeq: 1 + float64(c%50)/10,
+			BCommSeq: 5 + float64(d%100)/10,
+			Alpha:    0.1 + float64(e%80)/100,
+			DeltaL:   float64(b%30) / 10,
+			DeltaR:   float64(c%10) / 10,
+		}
+		p.TParMax = float64(p.NParMax)*p.BCompSeq + p.BCommSeq
+		p.TSeqMax = float64(p.NSeqMax) * p.BCompSeq * 0.95
+		p.TPar2 = p.TParMax - p.DeltaL*float64(p.NSeqMax-p.NParMax)
+		if p.TPar2 <= 0 {
+			p.TPar2 = 1
+		}
+		return p
+	}
+	f := func(a, b, c, d, e, nRaw uint8) bool {
+		p := gen(a, b, c, d, e)
+		if p.Validate() != nil {
+			return true // skip degenerate combinations
+		}
+		n := int(nRaw%24) + 1
+		comp, comm := p.CompPar(n), p.CommPar(n)
+		// Non-negative bandwidths.
+		if comp < 0 || comm < 0 {
+			return false
+		}
+		// Communications never exceed nominal.
+		if comm > p.BCommSeq+1e-9 {
+			return false
+		}
+		// Under saturation, comm keeps at least α·Bcomm (equation 5
+		// interpolates between α and a larger value).
+		if p.saturated(n) && comm < p.Alpha*p.BCommSeq-1e-9 {
+			return false
+		}
+		// Computations never exceed their demand.
+		if comp > float64(n)*p.BCompSeq+1e-9 {
+			return false
+		}
+		// The stacked total respects the capacity: when saturated the
+		// split is exactly T(n) — except in the degenerate region
+		// where the communication guarantee alone exceeds the
+		// capacity (comp clamps to 0 and comm keeps its guarantee,
+		// as the published equations imply).
+		if p.saturated(n) {
+			total := p.TotalBandwidth(n)
+			switch {
+			case comm >= total: // degenerate guarantee region
+				if comp != 0 {
+					return false
+				}
+			case math.Abs(comp+comm-total) > 1e-9:
+				return false
+			}
+		}
+		// Compute-alone bound.
+		if p.CompAlone(n) > p.TSeqMax+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalBandwidthMonotone(t *testing.T) {
+	// With non-negative deltas, T(n) is non-increasing.
+	p := refParams()
+	prev := p.TotalBandwidth(1)
+	for n := 2; n <= 30; n++ {
+		cur := p.TotalBandwidth(n)
+		if cur > prev+1e-9 {
+			t.Fatalf("T not monotone at n=%d: %v > %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := refParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.NParMax = 0 },
+		func(p *Params) { p.NSeqMax = 0 },
+		func(p *Params) { p.NParMax = 15 }, // exceeds NSeqMax
+		func(p *Params) { p.TParMax = 0 },
+		func(p *Params) { p.BCompSeq = -1 },
+		func(p *Params) { p.BCommSeq = 0 },
+		func(p *Params) { p.Alpha = 0 },
+		func(p *Params) { p.Alpha = 1.5 },
+		func(p *Params) { p.TSeqMax = math.NaN() },
+	}
+	for i, mut := range mutations {
+		p := refParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	s := refParams().String()
+	if len(s) == 0 || s[0] != 'P' {
+		t.Errorf("String() = %q", s)
+	}
+}

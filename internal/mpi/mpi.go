@@ -1,0 +1,339 @@
+// Package mpi is a small message-passing interface over the simulated
+// cluster, reproducing the programming model of the paper's benchmark
+// (MadMPI / OpenMPI, §IV-A1): ranks with blocking and non-blocking
+// point-to-point operations, tag matching with wildcards, barriers and a
+// couple of collectives.
+//
+// Ranks are engine processes, so all of MPI runs under the deterministic
+// cooperative scheduler: a program's outcome depends only on its logic and
+// the simulated platform, never on goroutine interleaving.
+package mpi
+
+import (
+	"fmt"
+
+	"memcontention/internal/engine"
+	"memcontention/internal/kernels"
+	"memcontention/internal/memsys"
+	"memcontention/internal/simnet"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// EagerLimit is the message size under which sends complete immediately
+// (buffered), as in real MPI implementations. Larger messages use a
+// rendezvous: the sender blocks until the receiver has the data.
+const EagerLimit = 32 * units.KiB
+
+// World is an MPI job: a set of ranks spread over machines.
+type World struct {
+	sim    *engine.Sim
+	fabric *simnet.Fabric
+	ranks  []*rankState
+	// barrier bookkeeping
+	barrierCount int
+	barrierSig   *engine.Signal
+	// communicator bookkeeping (Split rounds and per-comm barriers)
+	splitRound   *splitRound
+	commSeq      int
+	commBarriers map[int]*commBarrier
+}
+
+// rankState is the communication state of one rank.
+type rankState struct {
+	id      int
+	machine *simnet.Machine
+	// posted holds receive requests waiting for a matching send;
+	// unexpected holds send envelopes waiting for a matching receive.
+	// Both are FIFO, as MPI matching requires.
+	posted     []*Request
+	unexpected []*envelope
+}
+
+// envelope is a send seen from the receiving side.
+type envelope struct {
+	src, tag int
+	size     units.ByteSize
+	srcNode  topology.NodeID
+	payload  any
+	// sendReq completes when the data has been delivered (nil for
+	// eager sends, which complete at post time).
+	sendReq *Request
+}
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Size   units.ByteSize
+	// Payload is the optional value attached by the sender.
+	Payload any
+	// AvgRate is the observed transfer bandwidth (0 for eager/local).
+	AvgRate units.Bandwidth
+}
+
+// Request is a non-blocking operation handle.
+type Request struct {
+	world    *World
+	done     bool
+	sig      *engine.Signal
+	status   Status
+	err      error
+	isRecv   bool
+	src, tag int
+	dstNode  topology.NodeID
+	size     units.ByteSize
+}
+
+// Test reports whether the request has completed.
+func (r *Request) Test() bool { return r.done }
+
+// complete marks the request done and wakes waiters.
+func (r *Request) complete(st Status, err error) {
+	r.done = true
+	r.status = st
+	r.err = err
+	r.sig.Fire()
+}
+
+// NewWorld creates an MPI world over the fabric. ranksPerMachine ranks are
+// created on each machine, rank ids counting machine-major.
+func NewWorld(sim *engine.Sim, fabric *simnet.Fabric, machines []*simnet.Machine, ranksPerMachine int) (*World, error) {
+	if ranksPerMachine <= 0 {
+		return nil, fmt.Errorf("mpi: ranksPerMachine must be positive")
+	}
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("mpi: no machines")
+	}
+	w := &World{sim: sim, fabric: fabric}
+	for _, m := range machines {
+		for r := 0; r < ranksPerMachine; r++ {
+			w.ranks = append(w.ranks, &rankState{id: len(w.ranks), machine: m})
+		}
+	}
+	w.barrierSig = sim.NewSignal()
+	return w, nil
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Ctx is the per-rank handle passed to rank main functions.
+type Ctx struct {
+	world *World
+	rank  *rankState
+	proc  *engine.Proc
+}
+
+// Launch spawns every rank with the given main function. Call sim.Run()
+// afterwards to execute the job.
+func (w *World) Launch(main func(*Ctx)) {
+	for _, rs := range w.ranks {
+		rs := rs
+		w.sim.Spawn(fmt.Sprintf("rank-%d", rs.id), func(p *engine.Proc) {
+			main(&Ctx{world: w, rank: rs, proc: p})
+		})
+	}
+}
+
+// Rank reports the calling rank's id.
+func (c *Ctx) Rank() int { return c.rank.id }
+
+// Size reports the world size.
+func (c *Ctx) Size() int { return c.world.Size() }
+
+// Machine returns the machine hosting this rank.
+func (c *Ctx) Machine() *simnet.Machine { return c.rank.machine }
+
+// Now reports the simulated time in seconds.
+func (c *Ctx) Now() float64 { return c.world.sim.Now() }
+
+// Sleep advances this rank by d simulated seconds.
+func (c *Ctx) Sleep(d float64) { c.proc.Sleep(d) }
+
+// Isend posts a non-blocking send of size bytes living on srcNode of the
+// sender's machine. payload is an optional value handed to the receiver.
+func (c *Ctx) Isend(dst, tag int, size units.ByteSize, srcNode topology.NodeID, payload any) (*Request, error) {
+	if dst < 0 || dst >= c.world.Size() {
+		return nil, fmt.Errorf("mpi: rank %d: Isend to invalid rank %d", c.Rank(), dst)
+	}
+	if tag < 0 {
+		return nil, fmt.Errorf("mpi: rank %d: Isend with negative tag %d (wildcards are receive-only)", c.Rank(), tag)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: rank %d: Isend with non-positive size %d", c.Rank(), size)
+	}
+	req := &Request{world: c.world, sig: c.world.sim.NewSignal(), tag: tag, size: size}
+	env := &envelope{src: c.Rank(), tag: tag, size: size, srcNode: srcNode, payload: payload}
+	if size > EagerLimit {
+		env.sendReq = req
+	} else {
+		// Eager: the send buffer is considered reusable immediately.
+		req.complete(Status{Source: c.Rank(), Tag: tag, Size: size}, nil)
+	}
+	c.world.deliverEnvelope(c.world.ranks[dst], env)
+	return req, nil
+}
+
+// Send is the blocking version of Isend.
+func (c *Ctx) Send(dst, tag int, size units.ByteSize, srcNode topology.NodeID, payload any) error {
+	req, err := c.Isend(dst, tag, size, srcNode, payload)
+	if err != nil {
+		return err
+	}
+	_, err = c.Wait(req)
+	return err
+}
+
+// Irecv posts a non-blocking receive into dstNode of the receiver's
+// machine. src may be AnySource and tag AnyTag.
+func (c *Ctx) Irecv(src, tag int, size units.ByteSize, dstNode topology.NodeID) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= c.world.Size()) {
+		return nil, fmt.Errorf("mpi: rank %d: Irecv from invalid rank %d", c.Rank(), src)
+	}
+	req := &Request{
+		world: c.world, sig: c.world.sim.NewSignal(),
+		isRecv: true, src: src, tag: tag, dstNode: dstNode, size: size,
+	}
+	// Try the unexpected queue first (FIFO matching).
+	for i, env := range c.rank.unexpected {
+		if req.matches(env) {
+			c.rank.unexpected = append(c.rank.unexpected[:i], c.rank.unexpected[i+1:]...)
+			c.world.startTransfer(c.rank, env, req)
+			return req, nil
+		}
+	}
+	c.rank.posted = append(c.rank.posted, req)
+	return req, nil
+}
+
+// Recv is the blocking version of Irecv.
+func (c *Ctx) Recv(src, tag int, size units.ByteSize, dstNode topology.NodeID) (Status, error) {
+	req, err := c.Irecv(src, tag, size, dstNode)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Wait(req)
+}
+
+// Wait blocks until the request completes and returns its status.
+func (c *Ctx) Wait(req *Request) (Status, error) {
+	if req == nil {
+		return Status{}, fmt.Errorf("mpi: rank %d: Wait on nil request", c.Rank())
+	}
+	for !req.done {
+		req.sig.Wait(c.proc)
+	}
+	return req.status, req.err
+}
+
+// WaitAll waits for every request, returning the first error encountered.
+func (c *Ctx) WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := c.Wait(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// matches implements MPI matching semantics for a posted receive.
+func (r *Request) matches(env *envelope) bool {
+	if r.src != AnySource && r.src != env.src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != env.tag {
+		return false
+	}
+	return true
+}
+
+// deliverEnvelope routes a send envelope to the destination rank,
+// matching a posted receive if one exists.
+func (w *World) deliverEnvelope(dst *rankState, env *envelope) {
+	for i, req := range dst.posted {
+		if req.matches(env) {
+			dst.posted = append(dst.posted[:i], dst.posted[i+1:]...)
+			w.startTransfer(dst, env, req)
+			return
+		}
+	}
+	dst.unexpected = append(dst.unexpected, env)
+}
+
+// startTransfer moves the message data. Intra-machine messages are local
+// memory copies (modelled as instantaneous at this granularity);
+// inter-machine messages go through the fabric.
+func (w *World) startTransfer(dst *rankState, env *envelope, req *Request) {
+	srcMachine := w.ranks[env.src].machine
+	st := Status{Source: env.src, Tag: env.tag, Size: env.size, Payload: env.payload}
+	if srcMachine == dst.machine {
+		w.sim.After(0, func() {
+			req.complete(st, nil)
+			if env.sendReq != nil {
+				env.sendReq.complete(Status{Source: env.src, Tag: env.tag, Size: env.size}, nil)
+			}
+		})
+		return
+	}
+	w.fabric.DeliverAsync(simnet.Transfer{
+		Src: srcMachine, Dst: dst.machine,
+		SrcNode: env.srcNode, DstNode: req.dstNode,
+		Size: env.size,
+	}, func(res simnet.Result, err error) {
+		st.AvgRate = res.AvgRate
+		req.complete(st, err)
+		if env.sendReq != nil {
+			env.sendReq.complete(Status{Source: env.src, Tag: env.tag, Size: env.size}, err)
+		}
+	})
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Ctx) Barrier() {
+	w := c.world
+	w.barrierCount++
+	if w.barrierCount == w.Size() {
+		w.barrierCount = 0
+		sig := w.barrierSig
+		w.barrierSig = w.sim.NewSignal()
+		sig.Fire()
+		return
+	}
+	w.barrierSig.Wait(c.proc)
+}
+
+// Compute runs a kernel assignment until each core has moved perCoreBytes
+// through memory; it blocks the rank and returns the aggregate observed
+// bandwidth (weak scaling, as in the paper's benchmark).
+func (c *Ctx) Compute(a kernels.Assignment, perCoreBytes units.ByteSize) (units.Bandwidth, error) {
+	m := c.rank.machine
+	streams, err := a.Streams(m.Sys, 0)
+	if err != nil {
+		return 0, fmt.Errorf("mpi: rank %d: %w", c.Rank(), err)
+	}
+	start := c.Now()
+	handles := make([]*engine.Handle, len(streams))
+	for i, st := range streams {
+		st := st
+		handles[i] = m.Flows.Start(memsys.Stream{
+			Kind: memsys.KindCompute, Core: st.Core, Node: st.Node, Demand: st.Demand,
+		}, perCoreBytes)
+	}
+	for _, h := range handles {
+		h.Wait(c.proc)
+	}
+	elapsed := c.Now() - start
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	total := float64(perCoreBytes.Bytes()) * float64(len(streams))
+	return units.Bandwidth(total / units.BytesPerGB / elapsed), nil
+}

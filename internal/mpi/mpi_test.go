@@ -1,0 +1,464 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"memcontention/internal/engine"
+	"memcontention/internal/kernels"
+	"memcontention/internal/memsys"
+	"memcontention/internal/simnet"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// newWorld builds a world with nMachines henri machines × ranksPer ranks.
+func newWorld(t *testing.T, nMachines, ranksPer int) (*engine.Sim, *World) {
+	t.Helper()
+	sim := engine.NewSim()
+	fabric, err := simnet.NewFabric(sim, 12.1, 1.5e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat := topology.Henri()
+	prof, err := memsys.ProfileFor("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var machines []*simnet.Machine
+	for i := 0; i < nMachines; i++ {
+		m, err := simnet.NewMachine(sim, i, plat, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fabric.Attach(m); err != nil {
+			t.Fatal(err)
+		}
+		machines = append(machines, m)
+	}
+	w, err := NewWorld(sim, fabric, machines, ranksPer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, w
+}
+
+func run(t *testing.T, sim *engine.Sim, w *World, main func(*Ctx)) {
+	t.Helper()
+	w.Launch(main)
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	var got Status
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 5, 64*units.MiB, 0, "hello"); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			st, err := c.Recv(0, 5, 64*units.MiB, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			got = st
+		}
+	})
+	if got.Source != 0 || got.Tag != 5 || got.Size != 64*units.MiB {
+		t.Errorf("status = %+v", got)
+	}
+	if got.Payload != "hello" {
+		t.Errorf("payload = %v", got.Payload)
+	}
+	if got.AvgRate <= 0 {
+		t.Error("inter-machine receive must report a transfer rate")
+	}
+}
+
+func TestRecvBeforeSend(t *testing.T) {
+	// Posted-receive path: the receive is posted first, the send matches
+	// it later.
+	sim, w := newWorld(t, 2, 1)
+	completed := false
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			req, err := c.Irecv(1, 3, units.MiB, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			if _, err := c.Wait(req); err != nil {
+				t.Error(err)
+			}
+			completed = true
+		case 1:
+			c.Sleep(1e-3)
+			if err := c.Send(0, 3, units.MiB, 0, nil); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if !completed {
+		t.Error("posted receive never completed")
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	var order []int
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			// Send tag 2 first, then tag 1: the receiver asks for tag
+			// 1 first and must get the right message regardless.
+			if err := c.Send(1, 2, units.KiB, 0, 2); err != nil {
+				t.Error(err)
+			}
+			if err := c.Send(1, 1, units.KiB, 0, 1); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			c.Sleep(1e-3) // let both arrive as unexpected
+			for _, tag := range []int{1, 2} {
+				st, err := c.Recv(0, tag, units.KiB, 0)
+				if err != nil {
+					t.Error(err)
+				}
+				order = append(order, st.Payload.(int))
+			}
+		}
+	})
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("tag matching broken: %v", order)
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	sim, w := newWorld(t, 2, 2) // ranks 0,1 on machine 0; 2,3 on machine 1
+	received := map[int]bool{}
+	run(t, sim, w, func(c *Ctx) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				st, err := c.Recv(AnySource, AnyTag, units.KiB, 0)
+				if err != nil {
+					t.Error(err)
+				}
+				received[st.Source] = true
+			}
+			return
+		}
+		if err := c.Send(0, 10+c.Rank(), units.KiB, 0, nil); err != nil {
+			t.Error(err)
+		}
+	})
+	if len(received) != 3 {
+		t.Errorf("wildcard receive saw sources %v, want 3 distinct", received)
+	}
+}
+
+func TestEagerVsRendezvous(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	var eagerDone, rendezvousDone bool
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			// Eager: completes immediately even though no receive is
+			// posted yet.
+			req, err := c.Isend(1, 1, units.KiB, 0, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			eagerDone = req.Test()
+			// Rendezvous: must NOT complete before the receiver posts.
+			req2, err := c.Isend(1, 2, 64*units.MiB, 0, nil)
+			if err != nil {
+				t.Error(err)
+			}
+			rendezvousDone = req2.Test()
+			c.Wait(req2)
+		case 1:
+			c.Sleep(1e-3)
+			if _, err := c.Recv(0, 1, units.KiB, 0); err != nil {
+				t.Error(err)
+			}
+			if _, err := c.Recv(0, 2, 64*units.MiB, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if !eagerDone {
+		t.Error("eager send must complete at post time")
+	}
+	if rendezvousDone {
+		t.Error("rendezvous send must wait for the receiver")
+	}
+}
+
+func TestIntraMachineMessage(t *testing.T) {
+	sim, w := newWorld(t, 1, 2)
+	var st Status
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			if err := c.Send(1, 1, 8*units.MiB, 0, "local"); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			var err error
+			st, err = c.Recv(0, 1, 8*units.MiB, 0)
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if st.Payload != "local" {
+		t.Error("intra-machine payload lost")
+	}
+	if st.AvgRate != 0 {
+		t.Error("intra-machine message must not report a fabric rate")
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	sim, w := newWorld(t, 2, 2)
+	var after []float64
+	run(t, sim, w, func(c *Ctx) {
+		c.Sleep(float64(c.Rank()) * 1e-3) // ranks arrive staggered
+		c.Barrier()
+		after = append(after, c.Now())
+	})
+	if len(after) != 4 {
+		t.Fatalf("%d ranks passed the barrier", len(after))
+	}
+	for _, ts := range after {
+		if math.Abs(ts-3e-3) > 1e-12 {
+			t.Errorf("rank left barrier at %v, want 3ms (slowest rank)", ts)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	count := 0
+	run(t, sim, w, func(c *Ctx) {
+		for i := 0; i < 3; i++ {
+			c.Barrier()
+			if c.Rank() == 0 {
+				count++
+			}
+		}
+	})
+	if count != 3 {
+		t.Errorf("barrier rounds = %d, want 3", count)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			var reqs []*Request
+			for i := 0; i < 4; i++ {
+				r, err := c.Isend(1, i, units.MiB, 0, nil)
+				if err != nil {
+					t.Error(err)
+				}
+				reqs = append(reqs, r)
+			}
+			if err := c.WaitAll(reqs...); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			var reqs []*Request
+			for i := 0; i < 4; i++ {
+				r, err := c.Irecv(0, i, units.MiB, 0)
+				if err != nil {
+					t.Error(err)
+				}
+				reqs = append(reqs, r)
+			}
+			if err := c.WaitAll(reqs...); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestValidationErrors(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	run(t, sim, w, func(c *Ctx) {
+		if c.Rank() != 0 {
+			return
+		}
+		if _, err := c.Isend(99, 1, units.KiB, 0, nil); err == nil {
+			t.Error("send to unknown rank must fail")
+		}
+		if _, err := c.Isend(1, -1, units.KiB, 0, nil); err == nil {
+			t.Error("negative tag send must fail")
+		}
+		if _, err := c.Isend(1, 1, 0, 0, nil); err == nil {
+			t.Error("zero-size send must fail")
+		}
+		if _, err := c.Irecv(99, 1, units.KiB, 0); err == nil {
+			t.Error("receive from unknown rank must fail")
+		}
+		if _, err := c.Wait(nil); err == nil {
+			t.Error("wait on nil request must fail")
+		}
+	})
+}
+
+func TestNewWorldValidation(t *testing.T) {
+	sim := engine.NewSim()
+	fabric, err := simnet.NewFabric(sim, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWorld(sim, fabric, nil, 1); err == nil {
+		t.Error("no machines must fail")
+	}
+	plat := topology.Henri()
+	prof, _ := memsys.ProfileFor("henri")
+	m, _ := simnet.NewMachine(sim, 0, plat, prof)
+	if _, err := NewWorld(sim, fabric, []*simnet.Machine{m}, 0); err == nil {
+		t.Error("zero ranks per machine must fail")
+	}
+}
+
+func TestComputeAggregatesBandwidth(t *testing.T) {
+	sim, w := newWorld(t, 1, 1)
+	var bw units.Bandwidth
+	run(t, sim, w, func(c *Ctx) {
+		cores := c.Machine().Topo.SocketSet(0).Take(4)
+		a := kernels.Assignment{
+			Kernel: kernels.New(kernels.NTMemset),
+			Cores:  []topology.CoreID(cores),
+			Node:   0,
+		}
+		var err error
+		bw, err = c.Compute(a, 64*units.MiB)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	// 4 unsaturated local cores: 4 × 5 GB/s.
+	if math.Abs(bw.GBps()-20) > 1e-6 {
+		t.Errorf("compute bandwidth = %v, want 20", bw.GBps())
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	trace := func() string {
+		sim, w := newWorld(t, 2, 2)
+		var events []string
+		w.Launch(func(c *Ctx) {
+			for step := 0; step < 2; step++ {
+				peer := (c.Rank() + 2) % 4
+				if c.Rank() < 2 {
+					if err := c.Send(peer, step, units.MiB, 0, nil); err != nil {
+						t.Error(err)
+					}
+				} else {
+					st, err := c.Recv(peer, step, units.MiB, 0)
+					if err != nil {
+						t.Error(err)
+					}
+					events = append(events, fmt.Sprintf("%d<-%d@%.9f", c.Rank(), st.Source, c.Now()))
+				}
+				c.Barrier()
+			}
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(events, ";")
+	}
+	first := trace()
+	for i := 0; i < 3; i++ {
+		if got := trace(); got != first {
+			t.Fatalf("MPI schedule not deterministic:\n%s\n%s", first, got)
+		}
+	}
+}
+
+func TestUnmatchedRecvDeadlocks(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	w.Launch(func(c *Ctx) {
+		if c.Rank() == 0 {
+			c.Recv(1, 1, units.MiB, 0) // never sent
+		}
+	})
+	err := sim.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("unmatched receive must deadlock, got %v", err)
+	}
+}
+
+func TestWorldSize(t *testing.T) {
+	_, w := newWorld(t, 3, 2)
+	if w.Size() != 6 {
+		t.Errorf("Size = %d, want 6", w.Size())
+	}
+}
+
+func TestEagerLimitBoundary(t *testing.T) {
+	sim, w := newWorld(t, 2, 1)
+	run(t, sim, w, func(c *Ctx) {
+		switch c.Rank() {
+		case 0:
+			// Exactly at the limit: still eager.
+			atLimit, err := c.Isend(1, 1, EagerLimit, 0, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !atLimit.Test() {
+				t.Error("a send of exactly EagerLimit bytes must be eager")
+			}
+			// One byte over: rendezvous.
+			over, err := c.Isend(1, 2, EagerLimit+1, 0, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if over.Test() {
+				t.Error("EagerLimit+1 bytes must use the rendezvous path")
+			}
+			c.WaitAll(atLimit, over)
+		case 1:
+			c.Sleep(1e-4)
+			if _, err := c.Recv(0, 1, EagerLimit, 0); err != nil {
+				t.Error(err)
+			}
+			if _, err := c.Recv(0, 2, EagerLimit+1, 0); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+func TestSelfSend(t *testing.T) {
+	// A rank may message itself (same machine fast path).
+	sim, w := newWorld(t, 1, 1)
+	run(t, sim, w, func(c *Ctx) {
+		req, err := c.Isend(0, 5, units.KiB, 0, "self")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := c.Recv(0, 5, units.KiB, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Payload != "self" {
+			t.Error("self-message payload lost")
+		}
+		c.Wait(req)
+	})
+}

@@ -1,0 +1,145 @@
+// Package netbench measures the simulated network the way MPI
+// benchmarking suites do: a ping-pong between two machines swept over
+// message sizes, yielding the classic latency→bandwidth curve. The paper's
+// model assumes large messages ("big messages are exchanged", §I); this
+// sweep locates the message size where its bandwidth assumption becomes
+// valid, and doubles as an end-to-end exercise of the DES + MPI substrate.
+package netbench
+
+import (
+	"fmt"
+
+	"memcontention/internal/engine"
+	"memcontention/internal/memsys"
+	"memcontention/internal/mpi"
+	"memcontention/internal/simnet"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// Point is one ping-pong measurement.
+type Point struct {
+	Size units.ByteSize `json:"size"`
+	// HalfRTT is the one-way time in seconds (round trip / 2).
+	HalfRTT float64 `json:"half_rtt"`
+	// Bandwidth is Size / HalfRTT in GB/s.
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// Config parameterises a ping-pong sweep.
+type Config struct {
+	Platform *topology.Platform
+	Profile  *memsys.Profile
+	// Node is the NUMA node holding both ranks' buffers.
+	Node topology.NodeID
+	// Iterations per size (round trips averaged). Default 4.
+	Iterations int
+	// Sizes to sweep. Default: 1 KiB .. 64 MiB, powers of four.
+	Sizes []units.ByteSize
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Platform == nil {
+		return c, fmt.Errorf("netbench: nil platform")
+	}
+	if c.Profile == nil {
+		prof, err := memsys.ProfileFor(c.Platform.Name)
+		if err != nil {
+			return c, err
+		}
+		c.Profile = prof
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 4
+	}
+	if len(c.Sizes) == 0 {
+		for s := units.KiB; s <= 64*units.MiB; s *= 4 {
+			c.Sizes = append(c.Sizes, s)
+		}
+	}
+	return c, nil
+}
+
+// PingPong runs the sweep and returns one point per size.
+func PingPong(cfg Config) ([]Point, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, 0, len(cfg.Sizes))
+	for _, size := range cfg.Sizes {
+		pt, err := pingPongOne(cfg, size)
+		if err != nil {
+			return nil, fmt.Errorf("netbench: size %s: %w", size, err)
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// pingPongOne runs one fresh two-machine simulation for a single size (a
+// fresh simulation per size keeps measurements independent).
+func pingPongOne(cfg Config, size units.ByteSize) (Point, error) {
+	sim := engine.NewSim()
+	wire := simnet.WireRateFor(cfg.Platform.NIC.Tech, cfg.Platform.NIC.PCIeGen)
+	fabric, err := simnet.NewFabric(sim, wire, 1.5e-6)
+	if err != nil {
+		return Point{}, err
+	}
+	var machines []*simnet.Machine
+	for i := 0; i < 2; i++ {
+		m, err := simnet.NewMachine(sim, i, cfg.Platform, cfg.Profile)
+		if err != nil {
+			return Point{}, err
+		}
+		if err := fabric.Attach(m); err != nil {
+			return Point{}, err
+		}
+		machines = append(machines, m)
+	}
+	world, err := mpi.NewWorld(sim, fabric, machines, 1)
+	if err != nil {
+		return Point{}, err
+	}
+
+	const tag = 99
+	var start, end float64
+	world.Launch(func(c *mpi.Ctx) {
+		switch c.Rank() {
+		case 0:
+			c.Barrier()
+			start = c.Now()
+			for i := 0; i < cfg.Iterations; i++ {
+				if err := c.Send(1, tag, size, cfg.Node, nil); err != nil {
+					panic(err)
+				}
+				if _, err := c.Recv(1, tag, size, cfg.Node); err != nil {
+					panic(err)
+				}
+			}
+			end = c.Now()
+		case 1:
+			c.Barrier()
+			for i := 0; i < cfg.Iterations; i++ {
+				if _, err := c.Recv(0, tag, size, cfg.Node); err != nil {
+					panic(err)
+				}
+				if err := c.Send(0, tag, size, cfg.Node, nil); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	if err := sim.Run(); err != nil {
+		return Point{}, err
+	}
+	halfRTT := (end - start) / float64(2*cfg.Iterations)
+	if halfRTT <= 0 {
+		return Point{}, fmt.Errorf("non-positive half RTT")
+	}
+	return Point{
+		Size:      size,
+		HalfRTT:   halfRTT,
+		Bandwidth: float64(size) / units.BytesPerGB / halfRTT,
+	}, nil
+}

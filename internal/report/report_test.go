@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/eval"
+	"memcontention/internal/topology"
+)
+
+func TestWriteReport(t *testing.T) {
+	runner, err := bench.NewRunner(bench.Config{Platform: topology.Henri(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eval.EvaluateRunner(runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, res, runner); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"PLATFORM REPORT — henri",
+		"Calibrated model",
+		"N_par_max",
+		"Communications",
+		"threshold-model", // ablation included
+		"comp@0/comm@0",
+		"measured",
+		"model",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Exactly the two calibration samples are charted: 2 samples × 2
+	// charts each.
+	if got := strings.Count(out, "measured vs model"); got != 4 {
+		t.Errorf("report has %d contention charts, want 4", got)
+	}
+}
+
+func TestWriteReportWithoutRunner(t *testing.T) {
+	res, err := eval.EvaluatePlatform(bench.Config{Platform: topology.Occigen(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, res, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "threshold-model") {
+		t.Error("nil runner must skip the ablation section")
+	}
+}

@@ -1,0 +1,110 @@
+package sensitivity
+
+import (
+	"strings"
+	"testing"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/topology"
+)
+
+func TestAcrossSeedsStability(t *testing.T) {
+	st, err := AcrossSeeds(bench.Config{Platform: topology.Henri()}, []uint64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Models) != 5 || len(st.Errors) != 5 {
+		t.Fatalf("study shape wrong: %d models, %d errors", len(st.Models), len(st.Errors))
+	}
+	// Bandwidth-valued parameters must be highly repeatable (noise is
+	// sub-percent on henri); knee positions may wiggle by a core.
+	for _, remote := range []bool{false, true} {
+		for _, p := range st.ParamSpread(remote) {
+			switch p.Name {
+			case "B_comp_seq", "B_comm_seq", "T_seq_max", "T_par_max", "alpha":
+				if p.CV > 0.02 {
+					t.Errorf("remote=%v %s: CV %.4f too unstable", remote, p.Name, p.CV)
+				}
+			case "N_par_max", "N_seq_max":
+				if p.StdDev > 1.0 {
+					t.Errorf("remote=%v %s: knee jitter %.2f cores", remote, p.Name, p.StdDev)
+				}
+			}
+		}
+	}
+	mean, max := st.ErrorSpread()
+	if mean <= 0 || max < mean {
+		t.Errorf("error spread inconsistent: mean %.2f, max %.2f", mean, max)
+	}
+	if max > 4.0 {
+		t.Errorf("henri worst-seed average error %.2f%% exceeds the 4%% headline", max)
+	}
+}
+
+func TestAcrossSeedsValidation(t *testing.T) {
+	if _, err := AcrossSeeds(bench.Config{Platform: topology.Henri()}, nil); err == nil {
+		t.Error("no seeds must fail")
+	}
+	if _, err := AcrossSeeds(bench.Config{}, []uint64{1}); err == nil {
+		t.Error("nil platform must fail")
+	}
+}
+
+func TestAcrossNoiseGrowth(t *testing.T) {
+	points, err := AcrossNoise(bench.Config{Platform: topology.Henri(), Seed: 1}, []float64{0, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// Zero noise: the only remaining error sources are the quirks and
+	// the model's structural approximations; amplified noise must make
+	// things clearly worse than the noise-free floor.
+	zero, four := points[0].Errors.Average, points[2].Errors.Average
+	if four <= zero {
+		t.Errorf("4× noise (%.2f%%) must hurt more than noise-free (%.2f%%)", four, zero)
+	}
+	if zero > points[1].Errors.Average+1.0 {
+		t.Errorf("noise-free error %.2f%% should not exceed nominal %.2f%% by much",
+			zero, points[1].Errors.Average)
+	}
+}
+
+func TestAcrossNoiseValidation(t *testing.T) {
+	if _, err := AcrossNoise(bench.Config{Platform: topology.Henri()}, nil); err == nil {
+		t.Error("no factors must fail")
+	}
+	if _, err := AcrossNoise(bench.Config{Platform: topology.Henri()}, []float64{-1}); err == nil {
+		t.Error("negative factor must fail")
+	}
+	prof, err := bench.NewRunner(bench.Config{Platform: topology.Henri()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bench.Config{Platform: topology.Henri(), Profile: prof.Config().Profile}
+	if _, err := AcrossNoise(cfg, []float64{1}); err == nil {
+		t.Error("explicit profile must be rejected")
+	}
+}
+
+func TestTables(t *testing.T) {
+	st, err := AcrossSeeds(bench.Config{Platform: topology.Occigen()}, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := SpreadTable("occigen", st.ParamSpread(false)).String()
+	for _, want := range []string{"B_comp_seq", "alpha", "CV"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("spread table missing %q", want)
+		}
+	}
+	pts, err := AcrossNoise(bench.Config{Platform: topology.Occigen(), Seed: 1}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text = NoiseTable("occigen", pts).String()
+	if !strings.Contains(text, "noise ×") || !strings.Contains(text, "%") {
+		t.Error("noise table incomplete")
+	}
+}

@@ -1,0 +1,209 @@
+// Package simnet models the network side of the testbed: machines with
+// their memory systems, the fabric linking them (InfiniBand / Omni-Path
+// class), and message delivery as DMA streams through the receiving (and
+// sending) machine's memory system.
+//
+// A message transfer is two coupled fluid flows: the sender NIC reads the
+// data from the sender's memory, the receiver NIC stores it into the
+// receiver's memory. The wire rate bounds both; the transfer completes
+// when both memory paths have drained, which is the fluid equivalent of a
+// rendezvous pipeline. The paper measures receive-side bandwidth (§IV-A1);
+// with an idle sender the receive path is the bottleneck, exactly as on
+// the real testbed.
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"memcontention/internal/engine"
+	"memcontention/internal/hwloc"
+	"memcontention/internal/memsys"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// Machine is one cluster node: a platform, its memory system and the flow
+// manager simulating it.
+type Machine struct {
+	ID    int
+	Sys   *memsys.System
+	Flows *engine.Flows
+	Topo  *hwloc.Topology
+}
+
+// NewMachine assembles a machine inside the simulation.
+func NewMachine(sim *engine.Sim, id int, plat *topology.Platform, prof *memsys.Profile) (*Machine, error) {
+	sys, err := memsys.New(plat, prof)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: machine %d: %w", id, err)
+	}
+	topo, err := hwloc.FromPlatform(plat)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: machine %d: %w", id, err)
+	}
+	return &Machine{ID: id, Sys: sys, Flows: engine.NewFlows(sim, sys), Topo: topo}, nil
+}
+
+// Fabric is the interconnect between machines.
+type Fabric struct {
+	sim *engine.Sim
+	// WireRate is the link speed in GB/s (EDR ≈ 12.1, HDR ≈ 23.5,
+	// Omni-Path ≈ 11.9).
+	WireRate float64
+	// Latency is the one-way base latency in seconds.
+	Latency float64
+
+	machines map[int]*Machine
+	nextXfer int
+}
+
+// NewFabric creates a fabric. Rate must be positive; latency non-negative.
+func NewFabric(sim *engine.Sim, wireRate, latency float64) (*Fabric, error) {
+	if wireRate <= 0 || math.IsNaN(wireRate) {
+		return nil, fmt.Errorf("simnet: wire rate must be positive, got %v", wireRate)
+	}
+	if latency < 0 || math.IsNaN(latency) {
+		return nil, fmt.Errorf("simnet: latency must be non-negative, got %v", latency)
+	}
+	return &Fabric{sim: sim, WireRate: wireRate, Latency: latency, machines: make(map[int]*Machine)}, nil
+}
+
+// Attach registers a machine on the fabric.
+func (f *Fabric) Attach(m *Machine) error {
+	if _, dup := f.machines[m.ID]; dup {
+		return fmt.Errorf("simnet: duplicate machine id %d", m.ID)
+	}
+	f.machines[m.ID] = m
+	return nil
+}
+
+// Machine returns an attached machine by id.
+func (f *Fabric) Machine(id int) (*Machine, error) {
+	m, ok := f.machines[id]
+	if !ok {
+		return nil, fmt.Errorf("simnet: unknown machine %d", id)
+	}
+	return m, nil
+}
+
+// Transfer describes one message movement between machines.
+type Transfer struct {
+	Src, Dst         *Machine
+	SrcNode, DstNode topology.NodeID
+	Size             units.ByteSize
+}
+
+// Result reports a completed transfer.
+type Result struct {
+	// Start and End are simulated times (seconds).
+	Start, End float64
+	// AvgRate is the end-to-end average bandwidth including latency.
+	AvgRate units.Bandwidth
+}
+
+// Deliver performs a transfer and blocks the calling process until the
+// data has fully landed in the destination memory.
+func (f *Fabric) Deliver(p *engine.Proc, t Transfer) (Result, error) {
+	resCh := make(chan Result, 1)
+	errCh := make(chan error, 1)
+	sig := f.sim.NewSignal()
+	f.DeliverAsync(t, func(r Result, err error) {
+		resCh <- r
+		errCh <- err
+		sig.Fire()
+	})
+	sig.Wait(p)
+	return <-resCh, <-errCh
+}
+
+// DeliverAsync performs a transfer and invokes done (in scheduler context)
+// on completion. Errors are reported through done.
+func (f *Fabric) DeliverAsync(t Transfer, done func(Result, error)) {
+	if err := f.check(t); err != nil {
+		f.sim.After(0, func() { done(Result{}, err) })
+		return
+	}
+	start := f.sim.Now()
+	f.nextXfer++
+	f.sim.After(f.Latency, func() {
+		// The wire bounds both DMA paths; the memory systems may
+		// grant less.
+		wire := f.WireRate
+		remaining := 2
+		finish := func() {
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			end := f.sim.Now()
+			res := Result{Start: start, End: end}
+			if end > start {
+				res.AvgRate = units.RateFor(t.Size, units.Seconds(end-start))
+			}
+			done(res, nil)
+		}
+		// Sender-side read stream (KindComm on the sender's system).
+		srcDemand := math.Min(wire, t.Src.Sys.CommDemand(t.SrcNode))
+		srcH := t.Src.Flows.Start(memsys.Stream{
+			Kind:   memsys.KindComm,
+			Node:   t.SrcNode,
+			Demand: srcDemand,
+		}, t.Size)
+		// Receiver-side write stream.
+		dstDemand := math.Min(wire, t.Dst.Sys.CommDemand(t.DstNode))
+		dstH := t.Dst.Flows.Start(memsys.Stream{
+			Kind:   memsys.KindComm,
+			Node:   t.DstNode,
+			Demand: dstDemand,
+		}, t.Size)
+		waitHandle(f.sim, srcH, finish)
+		waitHandle(f.sim, dstH, finish)
+	})
+}
+
+// waitHandle invokes fn once the flow completes, via a watcher process.
+func waitHandle(sim *engine.Sim, h *engine.Handle, fn func()) {
+	sim.Spawn("simnet-wait", func(p *engine.Proc) {
+		h.Wait(p)
+		fn()
+	})
+}
+
+func (f *Fabric) check(t Transfer) error {
+	switch {
+	case t.Src == nil || t.Dst == nil:
+		return fmt.Errorf("simnet: transfer with nil machine")
+	case t.Src == t.Dst:
+		return fmt.Errorf("simnet: loopback transfer on machine %d (use memcpy, not the fabric)", t.Src.ID)
+	case t.Size <= 0:
+		return fmt.Errorf("simnet: non-positive transfer size %d", t.Size)
+	case int(t.SrcNode) < 0 || int(t.SrcNode) >= t.Src.Sys.Platform().NNodes():
+		return fmt.Errorf("simnet: source node %d out of range", t.SrcNode)
+	case int(t.DstNode) < 0 || int(t.DstNode) >= t.Dst.Sys.Platform().NNodes():
+		return fmt.Errorf("simnet: destination node %d out of range", t.DstNode)
+	}
+	if _, ok := f.machines[t.Src.ID]; !ok {
+		return fmt.Errorf("simnet: source machine %d not attached", t.Src.ID)
+	}
+	if _, ok := f.machines[t.Dst.ID]; !ok {
+		return fmt.Errorf("simnet: destination machine %d not attached", t.Dst.ID)
+	}
+	return nil
+}
+
+// WireRateFor returns a plausible wire rate (GB/s) for a network
+// technology, used when assembling clusters from Table I platforms.
+func WireRateFor(tech topology.NetworkTech, pcieGen int) float64 {
+	switch tech {
+	case topology.OmniPath:
+		return 11.9
+	case topology.InfiniBand:
+		if pcieGen >= 4 {
+			return 23.5 // HDR
+		}
+		return 12.1 // EDR
+	default:
+		return 12.1
+	}
+}

@@ -1,0 +1,242 @@
+// Package stats provides the numerical helpers used by calibration and
+// evaluation: descriptive statistics, the paper's error metric (mean
+// absolute percentage error), linear fitting and curve analysis utilities
+// (argmax with tolerance, knee detection on piecewise-linear data).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the minimum of xs and its index. Empty input returns (0, -1).
+func Min(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	m, idx := xs[0], 0
+	for i, x := range xs[1:] {
+		if x < m {
+			m, idx = x, i+1
+		}
+	}
+	return m, idx
+}
+
+// Max returns the maximum of xs and its index. Empty input returns (0, -1).
+func Max(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		return 0, -1
+	}
+	m, idx := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > m {
+			m, idx = x, i+1
+		}
+	}
+	return m, idx
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// StdDev returns the population standard deviation of xs (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median of xs (mean of the two middle elements for even
+// lengths). It does not modify xs. Empty input returns 0.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MAPE computes the paper's prediction-error metric (§IV-B):
+//
+//	100%/n × Σ |actual_k − predicted_k| / |actual_k|
+//
+// Pairs whose actual value is zero are skipped (they would be undefined);
+// if every pair is skipped or the slices are empty, MAPE returns an error.
+// The two slices must have equal length.
+func MAPE(actual, predicted []float64) (float64, error) {
+	if len(actual) != len(predicted) {
+		return 0, errors.New("stats: MAPE length mismatch")
+	}
+	sum, n := 0.0, 0
+	for i, a := range actual {
+		if a == 0 {
+			continue
+		}
+		sum += math.Abs(a-predicted[i]) / math.Abs(a)
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// LinearFit fits y = a + b·x by least squares and returns (a, b).
+// It requires at least two points with distinct x values.
+func LinearFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, errors.New("stats: LinearFit length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		sxx += dx * dx
+		sxy += dx * (ys[i] - my)
+	}
+	if sxx == 0 {
+		return 0, 0, errors.New("stats: LinearFit degenerate x")
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b, nil
+}
+
+// ArgmaxTolerant returns the index of the *first* element whose value is
+// within relTol (relative) of the global maximum. The paper's calibration
+// "mostly looks for minima and maxima" on noisy plateaus; picking the first
+// near-max point recovers the knee position rather than a point far into a
+// flat plateau. Empty input returns -1.
+func ArgmaxTolerant(xs []float64, relTol float64) int {
+	m, idx := Max(xs)
+	if idx < 0 {
+		return -1
+	}
+	if m <= 0 {
+		return idx
+	}
+	thresh := m * (1 - relTol)
+	for i, x := range xs {
+		if x >= thresh {
+			return i
+		}
+	}
+	return idx
+}
+
+// ArgmaxLastTolerant returns the index of the *last* element within relTol of
+// the maximum — the right edge of a plateau. Empty input returns -1.
+func ArgmaxLastTolerant(xs []float64, relTol float64) int {
+	m, idx := Max(xs)
+	if idx < 0 {
+		return -1
+	}
+	if m <= 0 {
+		return idx
+	}
+	thresh := m * (1 - relTol)
+	last := idx
+	for i, x := range xs {
+		if x >= thresh {
+			last = i
+		}
+	}
+	return last
+}
+
+// SlopeBetween returns the per-step slope of ys between indices i and j,
+// i.e. (ys[j]−ys[i])/(j−i). It returns 0 when i == j.
+func SlopeBetween(ys []float64, i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return (ys[j] - ys[i]) / float64(j-i)
+}
+
+// MovingAverage smooths xs with a centred window of the given odd width.
+// Width <= 1 returns a copy. Edges use the available partial window.
+func MovingAverage(xs []float64, width int) []float64 {
+	out := make([]float64, len(xs))
+	if width <= 1 {
+		copy(out, xs)
+		return out
+	}
+	half := width / 2
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half
+		if hi > len(xs)-1 {
+			hi = len(xs) - 1
+		}
+		s := 0.0
+		for j := lo; j <= hi; j++ {
+			s += xs[j]
+		}
+		out[i] = s / float64(hi-lo+1)
+	}
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// AbsRelErr returns |actual−predicted|/|actual| (the per-point MAPE term),
+// or 0 when actual is zero.
+func AbsRelErr(actual, predicted float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return math.Abs(actual-predicted) / math.Abs(actual)
+}

@@ -1,0 +1,93 @@
+package stencil
+
+import (
+	"fmt"
+
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// Advice is the Advisor's recommended configuration with its predicted
+// timing breakdown.
+type Advice struct {
+	Cores     int             `json:"cores"`
+	Placement model.Placement `json:"placement"`
+	// PredictedIter is the predicted per-iteration time (seconds) under
+	// the overlap schedule.
+	PredictedIter float64 `json:"predicted_iter"`
+	// ComputeTime / CommTime are the overlapped components.
+	ComputeTime float64 `json:"compute_time"`
+	CommTime    float64 `json:"comm_time"`
+}
+
+// PredictIteration estimates the overlapped iteration time of a stencil
+// configuration from the calibrated model: the computation moves
+// DomainBytes at Bcomp_par(n), the two halo receives move 2·HaloBytes at
+// Bcomm_par(n), and overlap means the iteration costs the maximum of the
+// two (§I: "in the hope that their cost becomes basically free").
+func PredictIteration(m model.Model, cfg Config) (Advice, error) {
+	pl := model.Placement{Comp: cfg.CompNode, Comm: cfg.CommNode}
+	pred, err := m.Predict(cfg.Cores, pl)
+	if err != nil {
+		return Advice{}, err
+	}
+	if pred.Comp <= 0 || pred.Comm <= 0 {
+		return Advice{}, fmt.Errorf("stencil: degenerate prediction %+v", pred)
+	}
+	a := Advice{Cores: cfg.Cores, Placement: pl}
+	// Fixed problem size: more cores extract more bandwidth (until
+	// contention) and the same bytes finish sooner.
+	a.ComputeTime = float64(cfg.DomainBytes) / (pred.Comp * units.BytesPerGB)
+	// Two halves arrive through one NIC; their aggregate is bounded by
+	// the predicted communication bandwidth.
+	a.CommTime = float64(2*cfg.HaloBytes) / (pred.Comm * units.BytesPerGB)
+	if a.ComputeTime > a.CommTime {
+		a.PredictedIter = a.ComputeTime
+	} else {
+		a.PredictedIter = a.CommTime
+	}
+	return a, nil
+}
+
+// Advise searches every (cores, placement) configuration and returns the
+// one minimising the predicted iteration time — what a contention-aware
+// runtime would do before launching the solver.
+func Advise(m model.Model, plat *topology.Platform, base Config) (Advice, error) {
+	if plat == nil {
+		return Advice{}, fmt.Errorf("stencil: nil platform")
+	}
+	var best Advice
+	found := false
+	for comp := 0; comp < plat.NNodes(); comp++ {
+		for comm := 0; comm < plat.NNodes(); comm++ {
+			for n := 1; n <= plat.CoresPerSocket(); n++ {
+				cfg := base
+				cfg.Cores = n
+				cfg.CompNode = topology.NodeID(comp)
+				cfg.CommNode = topology.NodeID(comm)
+				a, err := PredictIteration(m, cfg)
+				if err != nil {
+					return Advice{}, err
+				}
+				if !found || a.PredictedIter < best.PredictedIter {
+					best = a
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		return Advice{}, fmt.Errorf("stencil: no feasible configuration")
+	}
+	return best, nil
+}
+
+// NaiveConfig is what an unaware application does: all cores, every
+// buffer on node 0.
+func NaiveConfig(plat *topology.Platform, base Config) Config {
+	base.Cores = plat.CoresPerSocket()
+	base.CompNode = 0
+	base.CommNode = 0
+	return base
+}

@@ -1,0 +1,213 @@
+// Package stencil is the application-level study motivating the paper: an
+// iterative 1-D stencil solver whose ranks compute over their domain and
+// exchange halos with both neighbours each iteration — the communication/
+// computation overlap pattern of task-based runtimes (StarPU, PaRSEC)
+// cited in §IV-A1.
+//
+// The package runs the application on the simulated cluster under two
+// schedules (sequential and overlapped) and provides an Advisor that uses
+// the calibrated contention model to pick the core count and data
+// placement minimising the predicted iteration time — the §VI future-work
+// use case ("runtime systems could better know on which NUMA node store
+// data and how many computing cores should be used").
+package stencil
+
+import (
+	"fmt"
+
+	"memcontention/internal/kernels"
+	"memcontention/internal/mpi"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// Schedule selects how each iteration orders work.
+type Schedule int
+
+// Schedules.
+const (
+	// Sequential computes, then exchanges halos: no overlap, no
+	// contention — the baseline the paper's introduction starts from.
+	Sequential Schedule = iota
+	// Overlap posts the halo exchange, computes while it progresses,
+	// then waits: communication is (ideally) free, but contends with
+	// the computation for memory bandwidth — the paper's subject.
+	Overlap
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case Sequential:
+		return "sequential"
+	case Overlap:
+		return "overlap"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// Config parameterises an application run.
+type Config struct {
+	// Machines is the ring length (one rank per machine).
+	Machines int
+	// Iterations of compute + halo exchange.
+	Iterations int
+	// Cores computing on each rank (first socket, first Cores cores).
+	Cores int
+	// DomainBytes is each rank's memory traffic per iteration (the
+	// fixed problem size, split across the computing cores — strong
+	// scaling, as in a real solver).
+	DomainBytes units.ByteSize
+	// HaloBytes per neighbour per iteration.
+	HaloBytes units.ByteSize
+	// CompNode/CommNode: NUMA placement of the two data kinds.
+	CompNode, CommNode topology.NodeID
+	// Schedule orders the iteration.
+	Schedule Schedule
+	// Kernel defaults to the non-temporal memset.
+	Kernel kernels.Kernel
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Machines < 2 {
+		return c, fmt.Errorf("stencil: need at least 2 machines, got %d", c.Machines)
+	}
+	if c.Iterations < 1 {
+		return c, fmt.Errorf("stencil: need at least 1 iteration")
+	}
+	if c.Cores < 1 {
+		return c, fmt.Errorf("stencil: need at least 1 computing core")
+	}
+	if c.DomainBytes <= 0 || c.HaloBytes <= 0 {
+		return c, fmt.Errorf("stencil: sizes must be positive")
+	}
+	if c.Kernel.DemandFactor == 0 {
+		c.Kernel = kernels.New(kernels.NTMemset)
+	}
+	return c, nil
+}
+
+// Result reports an application run.
+type Result struct {
+	// SimTime is the total simulated wall time (seconds).
+	SimTime float64
+	// PerIteration is SimTime / Iterations.
+	PerIteration float64
+	// Schedule echoes the configuration.
+	Schedule Schedule
+}
+
+// Runner abstracts the cluster so the package stays decoupled from the
+// facade; the root package and tests supply the implementation.
+type Runner interface {
+	// Run executes main on one rank per machine and returns the
+	// simulated time.
+	Run(ranksPerMachine int, main func(*mpi.Ctx)) (float64, error)
+	// Platform describes the machines.
+	Platform() *topology.Platform
+}
+
+const haloTag = 11
+
+// Run executes the stencil application on the cluster.
+func Run(cluster Runner, cfg Config) (Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	plat := cluster.Platform()
+	if cfg.Cores > plat.CoresPerSocket() {
+		return Result{}, fmt.Errorf("stencil: %d cores exceed the socket's %d", cfg.Cores, plat.CoresPerSocket())
+	}
+	if int(cfg.CompNode) >= plat.NNodes() || int(cfg.CommNode) >= plat.NNodes() {
+		return Result{}, fmt.Errorf("stencil: placement out of range")
+	}
+
+	var firstErr error
+	simTime, err := cluster.Run(1, func(ctx *mpi.Ctx) {
+		if err := rankMain(ctx, cfg); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("stencil: rank %d: %w", ctx.Rank(), err)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	return Result{
+		SimTime:      simTime,
+		PerIteration: simTime / float64(cfg.Iterations),
+		Schedule:     cfg.Schedule,
+	}, nil
+}
+
+// rankMain is one rank's program.
+func rankMain(ctx *mpi.Ctx, cfg Config) error {
+	me, size := ctx.Rank(), ctx.Size()
+	right := (me + 1) % size
+	left := (me - 1 + size) % size
+	cores := ctx.Machine().Topo.SocketSet(0).Take(cfg.Cores)
+	work := kernels.Assignment{
+		Kernel: cfg.Kernel,
+		Cores:  []topology.CoreID(cores),
+		Node:   cfg.CompNode,
+	}
+	perCore := cfg.DomainBytes / units.ByteSize(cfg.Cores)
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		switch cfg.Schedule {
+		case Sequential:
+			if _, err := ctx.Compute(work, perCore); err != nil {
+				return err
+			}
+			if err := exchange(ctx, cfg, left, right, nil); err != nil {
+				return err
+			}
+		case Overlap:
+			var pending []*mpi.Request
+			if err := exchange(ctx, cfg, left, right, &pending); err != nil {
+				return err
+			}
+			if _, err := ctx.Compute(work, perCore); err != nil {
+				return err
+			}
+			if err := ctx.WaitAll(pending...); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown schedule %v", cfg.Schedule)
+		}
+		ctx.Barrier()
+	}
+	return nil
+}
+
+// exchange posts the halo sends/receives with both neighbours. With
+// pending == nil it completes them before returning (sequential); with a
+// non-nil pending it returns the outstanding requests (overlap).
+func exchange(ctx *mpi.Ctx, cfg Config, left, right int, pending *[]*mpi.Request) error {
+	recvL, err := ctx.Irecv(left, haloTag, cfg.HaloBytes, cfg.CommNode)
+	if err != nil {
+		return err
+	}
+	recvR, err := ctx.Irecv(right, haloTag, cfg.HaloBytes, cfg.CommNode)
+	if err != nil {
+		return err
+	}
+	sendR, err := ctx.Isend(right, haloTag, cfg.HaloBytes, cfg.CommNode, nil)
+	if err != nil {
+		return err
+	}
+	sendL, err := ctx.Isend(left, haloTag, cfg.HaloBytes, cfg.CommNode, nil)
+	if err != nil {
+		return err
+	}
+	reqs := []*mpi.Request{recvL, recvR, sendR, sendL}
+	if pending == nil {
+		return ctx.WaitAll(reqs...)
+	}
+	*pending = append(*pending, reqs...)
+	return nil
+}

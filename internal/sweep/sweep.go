@@ -1,0 +1,100 @@
+// Package sweep runs independent benchmark/evaluation jobs across a
+// bounded worker pool. Simulations are deterministic and independent, so
+// the only concurrency concern is result ordering — outputs are returned
+// in input order regardless of completion order.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool size used when workers <= 0.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Map applies fn to every item on a pool of workers and returns results in
+// input order. The first error aborts scheduling of new work (in-flight
+// jobs finish) and is returned joined with any other errors.
+func Map[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	if fn == nil {
+		return nil, errors.New("sweep: nil function")
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+
+	type job struct{ idx int }
+	jobs := make(chan job)
+	var (
+		mu     sync.Mutex
+		errs   []error
+		failed bool
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				r, err := safeCall(fn, items[j.idx])
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("item %d: %w", j.idx, err))
+					failed = true
+				} else {
+					results[j.idx] = r
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range items {
+		mu.Lock()
+		stop := failed
+		mu.Unlock()
+		if stop {
+			break
+		}
+		jobs <- job{idx: i}
+	}
+	close(jobs)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return results, nil
+}
+
+// Each is Map without results.
+func Each[T any](items []T, workers int, fn func(T) error) error {
+	_, err := Map(items, workers, func(t T) (struct{}, error) {
+		return struct{}{}, fn(t)
+	})
+	return err
+}
+
+// safeCall converts panics in worker functions into errors so one bad item
+// cannot take down the whole sweep.
+func safeCall[T, R any](fn func(T) (R, error), item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("sweep: panic: %v", p)
+		}
+	}()
+	return fn(item)
+}

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	got, err := Map(items, 8, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d (order must be preserved)", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(nil, 4, func(x int) (int, error) { return x, nil })
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty map = (%v, %v)", got, err)
+	}
+}
+
+func TestMapNilFunc(t *testing.T) {
+	if _, err := Map([]int{1}, 1, (func(int) (int, error))(nil)); err == nil {
+		t.Error("nil function must error")
+	}
+}
+
+func TestMapErrorAborts(t *testing.T) {
+	var calls atomic.Int32
+	sentinel := errors.New("boom")
+	_, err := Map(make([]int, 1000), 2, func(int) (int, error) {
+		n := calls.Add(1)
+		if n == 3 {
+			return 0, sentinel
+		}
+		return 0, nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if c := calls.Load(); c >= 1000 {
+		t.Errorf("scheduling must abort after the failure, ran %d jobs", c)
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	_, err := Map([]int{1, 2, 3}, 2, func(x int) (int, error) {
+		if x == 2 {
+			panic("kaboom")
+		}
+		return x, nil
+	})
+	if err == nil {
+		t.Fatal("panic must surface as error")
+	}
+	if got := err.Error(); !strings.Contains(got, "kaboom") {
+		t.Errorf("panic message lost: %v", got)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each([]int{1, 2, 3, 4}, 2, func(x int) error {
+		sum.Add(int64(x))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 10 {
+		t.Errorf("sum = %d", sum.Load())
+	}
+	if err := Each([]int{1}, 1, func(int) error { return errors.New("e") }); err == nil {
+		t.Error("Each must propagate errors")
+	}
+}
+
+func TestWorkerClamping(t *testing.T) {
+	// More workers than items and non-positive workers must both work.
+	for _, workers := range []int{-1, 0, 1, 100} {
+		got, err := Map([]int{1, 2}, workers, func(x int) (int, error) { return x + 1, nil })
+		if err != nil || len(got) != 2 || got[0] != 2 || got[1] != 3 {
+			t.Errorf("workers=%d: got %v, %v", workers, got, err)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Error("DefaultWorkers must be at least 1")
+	}
+}

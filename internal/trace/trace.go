@@ -1,0 +1,267 @@
+// Package trace records what happens inside a simulation: flow lifetimes,
+// rate changes, and per-stream-kind accounting. It implements
+// engine.FlowObserver, so attaching a Recorder to a machine's flow manager
+// produces a timeline that can be rendered as text or summarised — the
+// simulated equivalent of the execution traces the paper's authors used in
+// their companion study of interferences.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memcontention/internal/memsys"
+	"memcontention/internal/units"
+)
+
+// EventKind labels timeline entries.
+type EventKind int
+
+// Event kinds.
+const (
+	// FlowStart marks a transfer beginning.
+	FlowStart EventKind = iota
+	// FlowEnd marks a transfer draining.
+	FlowEnd
+	// RateChange marks a re-solve of the active rates.
+	RateChange
+	// Mark is a user annotation (phase boundaries etc.).
+	Mark
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case FlowStart:
+		return "flow-start"
+	case FlowEnd:
+		return "flow-end"
+	case RateChange:
+		return "rate-change"
+	case Mark:
+		return "mark"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one timeline entry.
+type Event struct {
+	At   float64 // simulated seconds
+	Kind EventKind
+	// FlowID identifies the flow for FlowStart/FlowEnd.
+	FlowID int
+	// Stream describes the flow (FlowStart only).
+	Stream memsys.Stream
+	// Bytes is the transfer size (FlowStart) in bytes.
+	Bytes float64
+	// AvgRate is the lifetime average rate (FlowEnd), GB/s.
+	AvgRate float64
+	// Label is the Mark annotation.
+	Label string
+	// ActiveRates is the number of concurrently active flows at a
+	// RateChange.
+	ActiveFlows int
+}
+
+// flowRecord aggregates one flow's life.
+type flowRecord struct {
+	stream   memsys.Stream
+	bytes    float64
+	start    float64
+	end      float64
+	finished bool
+	avgRate  float64
+}
+
+// Recorder collects events. The zero value is unusable; use NewRecorder.
+// Recorders are not safe for concurrent use — the engine is cooperative,
+// so this is never needed.
+type Recorder struct {
+	events []Event
+	flows  map[int]*flowRecord
+	// MaxEvents bounds memory (0 = unbounded); once exceeded, further
+	// RateChange events are dropped (lifecycle events are always kept).
+	MaxEvents int
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{flows: make(map[int]*flowRecord)}
+}
+
+// FlowStarted implements engine.FlowObserver.
+func (r *Recorder) FlowStarted(id int, stream memsys.Stream, bytes, at float64) {
+	r.flows[id] = &flowRecord{stream: stream, bytes: bytes, start: at}
+	r.events = append(r.events, Event{At: at, Kind: FlowStart, FlowID: id, Stream: stream, Bytes: bytes})
+}
+
+// FlowFinished implements engine.FlowObserver.
+func (r *Recorder) FlowFinished(id int, at, avgRate float64) {
+	if fr := r.flows[id]; fr != nil {
+		fr.end, fr.finished, fr.avgRate = at, true, avgRate
+	}
+	r.events = append(r.events, Event{At: at, Kind: FlowEnd, FlowID: id, AvgRate: avgRate})
+}
+
+// RatesResolved implements engine.FlowObserver.
+func (r *Recorder) RatesResolved(at float64, rates map[int]float64) {
+	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		return
+	}
+	r.events = append(r.events, Event{At: at, Kind: RateChange, ActiveFlows: len(rates)})
+}
+
+// MarkAt adds a user annotation at the given simulated time.
+func (r *Recorder) MarkAt(at float64, label string) {
+	r.events = append(r.events, Event{At: at, Kind: Mark, Label: label})
+}
+
+// Events returns the recorded timeline in insertion order (which is
+// simulated-time order, the engine being deterministic).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Summary aggregates the recording per stream kind.
+type Summary struct {
+	Flows        int
+	Finished     int
+	Bytes        units.ByteSize
+	BusyTime     float64 // sum of flow lifetimes, seconds
+	MeanRate     float64 // bytes-weighted mean rate, GB/s
+	MinRate      float64
+	MaxRate      float64
+	FirstStart   float64
+	LastEnd      float64
+	RateResolves int
+	PeakActive   int
+}
+
+// Summarize computes per-kind statistics over finished flows.
+func (r *Recorder) Summarize(kind memsys.StreamKind) Summary {
+	var s Summary
+	s.MinRate = -1
+	first := true
+	var weightedRate, totalBytes float64
+	for _, fr := range r.flows {
+		if fr.stream.Kind != kind {
+			continue
+		}
+		s.Flows++
+		if first || fr.start < s.FirstStart {
+			s.FirstStart = fr.start
+			first = false
+		}
+		if !fr.finished {
+			continue
+		}
+		s.Finished++
+		s.Bytes += units.ByteSize(fr.bytes)
+		s.BusyTime += fr.end - fr.start
+		if fr.end > s.LastEnd {
+			s.LastEnd = fr.end
+		}
+		weightedRate += fr.avgRate * fr.bytes
+		totalBytes += fr.bytes
+		if s.MinRate < 0 || fr.avgRate < s.MinRate {
+			s.MinRate = fr.avgRate
+		}
+		if fr.avgRate > s.MaxRate {
+			s.MaxRate = fr.avgRate
+		}
+	}
+	if totalBytes > 0 {
+		s.MeanRate = weightedRate / totalBytes
+	}
+	if s.MinRate < 0 {
+		s.MinRate = 0
+	}
+	for _, ev := range r.events {
+		if ev.Kind == RateChange {
+			s.RateResolves++
+			if ev.ActiveFlows > s.PeakActive {
+				s.PeakActive = ev.ActiveFlows
+			}
+		}
+	}
+	return s
+}
+
+// Timeline renders the recording as aligned text, one line per event,
+// limited to the first max events (0 = all).
+func (r *Recorder) Timeline(max int) string {
+	var b strings.Builder
+	events := r.events
+	if max > 0 && len(events) > max {
+		events = events[:max]
+	}
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%12.6f ms  %-11s", ev.At*1e3, ev.Kind)
+		switch ev.Kind {
+		case FlowStart:
+			fmt.Fprintf(&b, "  #%d %s node %d, %s", ev.FlowID, ev.Stream.Kind, ev.Stream.Node, units.ByteSize(ev.Bytes))
+		case FlowEnd:
+			fmt.Fprintf(&b, "  #%d at %.2f GB/s", ev.FlowID, ev.AvgRate)
+		case RateChange:
+			fmt.Fprintf(&b, "  %d active", ev.ActiveFlows)
+		case Mark:
+			fmt.Fprintf(&b, "  %s", ev.Label)
+		}
+		b.WriteByte('\n')
+	}
+	if max > 0 && len(r.events) > max {
+		fmt.Fprintf(&b, "... %d more events\n", len(r.events)-max)
+	}
+	return b.String()
+}
+
+// Gantt renders per-flow lifetime bars (sorted by start time) scaled to
+// width characters, for quick visual inspection of overlap structure.
+func (r *Recorder) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	type bar struct {
+		id int
+		fr *flowRecord
+	}
+	var bars []bar
+	var tMax float64
+	for id, fr := range r.flows {
+		if !fr.finished {
+			continue
+		}
+		bars = append(bars, bar{id, fr})
+		if fr.end > tMax {
+			tMax = fr.end
+		}
+	}
+	if tMax == 0 || len(bars) == 0 {
+		return "(no finished flows)\n"
+	}
+	sort.Slice(bars, func(i, j int) bool {
+		if bars[i].fr.start != bars[j].fr.start {
+			return bars[i].fr.start < bars[j].fr.start
+		}
+		return bars[i].id < bars[j].id
+	})
+	var b strings.Builder
+	for _, bb := range bars {
+		startCol := int(bb.fr.start / tMax * float64(width))
+		endCol := int(bb.fr.end / tMax * float64(width))
+		if endCol <= startCol {
+			endCol = startCol + 1
+		}
+		glyph := byte('=')
+		if bb.fr.stream.Kind == memsys.KindComm {
+			glyph = '~'
+		}
+		fmt.Fprintf(&b, "#%-4d |%s%s%s| %s\n",
+			bb.id,
+			strings.Repeat(" ", startCol),
+			strings.Repeat(string(glyph), endCol-startCol),
+			strings.Repeat(" ", width-endCol),
+			units.ByteSize(bb.fr.bytes))
+	}
+	return b.String()
+}

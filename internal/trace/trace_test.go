@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"memcontention/internal/engine"
+	"memcontention/internal/memsys"
+	"memcontention/internal/topology"
+	"memcontention/internal/units"
+)
+
+// recordedRun executes a small two-flow simulation with a recorder
+// attached and returns the recorder.
+func recordedRun(t *testing.T) *Recorder {
+	t.Helper()
+	prof, err := memsys.ProfileFor("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := memsys.New(topology.Henri(), prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := engine.NewSim()
+	flows := engine.NewFlows(sim, sys)
+	rec := NewRecorder()
+	flows.SetObserver(rec)
+	sim.Spawn("main", func(p *engine.Proc) {
+		comm := flows.Start(memsys.Stream{Kind: memsys.KindComm, Node: 0}, 32*units.MiB)
+		comp := flows.Start(memsys.Stream{Kind: memsys.KindCompute, Core: 0, Node: 0, Demand: 5}, 64*units.MiB)
+		rec.MarkAt(sim.Now(), "both started")
+		comm.Wait(p)
+		comp.Wait(p)
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderLifecycle(t *testing.T) {
+	rec := recordedRun(t)
+	var starts, ends, marks, rates int
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case FlowStart:
+			starts++
+		case FlowEnd:
+			ends++
+		case Mark:
+			marks++
+		case RateChange:
+			rates++
+		}
+	}
+	if starts != 2 || ends != 2 {
+		t.Errorf("lifecycle events: %d starts, %d ends (want 2/2)", starts, ends)
+	}
+	if marks != 1 {
+		t.Errorf("marks = %d", marks)
+	}
+	if rates < 2 {
+		t.Errorf("rate resolves = %d, want at least one per start", rates)
+	}
+	// Events must be time-ordered.
+	prev := -1.0
+	for _, ev := range rec.Events() {
+		if ev.At < prev {
+			t.Fatal("events out of time order")
+		}
+		prev = ev.At
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rec := recordedRun(t)
+	comm := rec.Summarize(memsys.KindComm)
+	if comm.Flows != 1 || comm.Finished != 1 {
+		t.Fatalf("comm summary: %+v", comm)
+	}
+	if comm.Bytes != 32*units.MiB {
+		t.Errorf("comm bytes = %v", comm.Bytes)
+	}
+	if comm.MeanRate <= 0 || comm.MeanRate > 11 {
+		t.Errorf("comm mean rate = %v", comm.MeanRate)
+	}
+	if comm.MinRate > comm.MaxRate {
+		t.Error("rate bounds inverted")
+	}
+	comp := rec.Summarize(memsys.KindCompute)
+	if comp.Finished != 1 || comp.Bytes != 64*units.MiB {
+		t.Errorf("comp summary: %+v", comp)
+	}
+	if comp.BusyTime <= comm.BusyTime {
+		t.Error("the larger, slower transfer must be busy longer")
+	}
+	if comm.PeakActive != 2 {
+		t.Errorf("peak active = %d, want 2", comm.PeakActive)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	rec := recordedRun(t)
+	text := rec.Timeline(0)
+	for _, want := range []string{"flow-start", "flow-end", "mark", "both started", "GB/s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timeline missing %q:\n%s", want, text)
+		}
+	}
+	limited := rec.Timeline(2)
+	if !strings.Contains(limited, "more events") {
+		t.Error("truncated timeline must say how much was dropped")
+	}
+	if strings.Count(limited, "\n") != 3 { // 2 events + ellipsis
+		t.Errorf("limited timeline:\n%s", limited)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	rec := recordedRun(t)
+	g := rec.Gantt(40)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), g)
+	}
+	// Comm flow renders with '~', compute with '='.
+	if !strings.Contains(g, "~") || !strings.Contains(g, "=") {
+		t.Errorf("gantt glyphs missing:\n%s", g)
+	}
+	if NewRecorder().Gantt(40) != "(no finished flows)\n" {
+		t.Error("empty gantt must say so")
+	}
+}
+
+func TestMaxEventsBound(t *testing.T) {
+	rec := NewRecorder()
+	rec.MaxEvents = 3
+	for i := 0; i < 10; i++ {
+		rec.RatesResolved(float64(i), map[int]float64{1: 1})
+	}
+	if len(rec.Events()) != 3 {
+		t.Errorf("MaxEvents not enforced: %d events", len(rec.Events()))
+	}
+	// Lifecycle events are always kept.
+	rec.FlowStarted(1, memsys.Stream{}, 10, 1)
+	if len(rec.Events()) != 4 {
+		t.Error("lifecycle events must bypass the bound")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for _, k := range []EventKind{FlowStart, FlowEnd, RateChange, Mark} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind must render")
+	}
+}

@@ -1,0 +1,168 @@
+package memcontention
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlatformsList(t *testing.T) {
+	names := Platforms()
+	if len(names) != 6 {
+		t.Fatalf("%d platforms, want 6", len(names))
+	}
+	for _, n := range names {
+		p, err := PlatformByName(n)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if _, err := ProfileFor(p.Name); err != nil {
+			t.Errorf("%s: no hardware profile: %v", n, err)
+		}
+	}
+	if _, err := PlatformByName("bogus"); err == nil {
+		t.Error("unknown platform must error")
+	}
+	if len(Testbed()) != 6 {
+		t.Error("Testbed must list all six platforms")
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	for _, name := range []string{"nt-memset", "copy", "triad", "load"} {
+		k, err := KernelByName(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if k.String() != name {
+			t.Errorf("kernel %q round trip broken", name)
+		}
+	}
+	if _, err := KernelByName("fft"); err == nil {
+		t.Error("unknown kernel must error")
+	}
+	if DefaultKernel().String() != "nt-memset" {
+		t.Error("default kernel must be the paper's NT memset")
+	}
+}
+
+func TestCalibrateFacade(t *testing.T) {
+	m, err := Calibrate("dahu", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(8, Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Comp <= 0 || pred.Comm <= 0 {
+		t.Errorf("empty prediction: %+v", pred)
+	}
+	if _, err := Calibrate("bogus", 1); err == nil {
+		t.Error("unknown platform must error")
+	}
+}
+
+func TestCalibrateCurvesFacade(t *testing.T) {
+	runner, err := NewBenchRunner(BenchConfig{Platform: mustPlatform(t, "henri")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, remote, err := runner.RunSamples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CalibrateCurves(local, remote, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Calibrate("henri", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != direct {
+		t.Error("facade paths must agree")
+	}
+}
+
+func mustPlatform(t *testing.T, name string) *Platform {
+	t.Helper()
+	p, err := PlatformByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTablesRender(t *testing.T) {
+	t1 := Table1()
+	if !strings.Contains(t1.String(), "occigen") {
+		t.Error("Table I missing platforms")
+	}
+	t2 := Table2(testbedResults)
+	if !strings.Contains(t2.String(), "Average") {
+		t.Error("Table II missing average row")
+	}
+}
+
+func TestClusterSmoke(t *testing.T) {
+	cluster, err := NewCluster("henri", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cluster.Machines()) != 2 {
+		t.Fatal("machine count wrong")
+	}
+	var status MPIStatus
+	elapsed, err := cluster.Run(1, func(ctx *RankCtx) {
+		switch ctx.Rank() {
+		case 0:
+			if err := ctx.Send(1, 1, 8*MiB, 0, "ping"); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			var err error
+			status, err = ctx.Recv(0, 1, 8*MiB, 0)
+			if err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Error("simulated time must advance")
+	}
+	if status.Payload != "ping" {
+		t.Error("payload lost")
+	}
+	if _, err := NewCluster("henri", 0); err == nil {
+		t.Error("empty cluster must fail")
+	}
+	if _, err := NewCluster("bogus", 1); err == nil {
+		t.Error("unknown platform must fail")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if s, err := ParseByteSize("64MiB"); err != nil || s != 64*MiB {
+		t.Errorf("ParseByteSize = %v, %v", s, err)
+	}
+	if b, err := ParseBandwidth("12.5 GB/s"); err != nil || b.GBps() != 12.5 {
+		t.Errorf("ParseBandwidth = %v, %v", b, err)
+	}
+}
+
+func TestEvaluateConfigFacade(t *testing.T) {
+	res, err := EvaluateConfig(BenchConfig{Platform: mustPlatform(t, "occigen"), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Platform != "occigen" || len(res.Placements) != 4 {
+		t.Error("evaluation shape wrong")
+	}
+}

@@ -1,0 +1,362 @@
+package memcontention
+
+// reproduction_test.go asserts the paper's evaluation claims on the
+// simulated testbed — the success criteria of DESIGN.md's per-experiment
+// index. Absolute GB/s are simulator-dependent; what is asserted is the
+// *shape* of every result: who is throttled, in which placements, with
+// what ordering across platforms.
+
+import (
+	"testing"
+
+	"memcontention/internal/eval"
+	"memcontention/internal/stats"
+)
+
+// testbedResults evaluates all six platforms once per test binary run.
+var testbedResults = func() []*EvalResult {
+	rs, err := EvaluateTestbed(1)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}()
+
+func resultFor(t *testing.T, platform string) *EvalResult {
+	t.Helper()
+	for _, r := range testbedResults {
+		if r.Platform == platform {
+			return r
+		}
+	}
+	t.Fatalf("no result for %s", platform)
+	return nil
+}
+
+// TestE9HeadlineErrors: the paper's headline — overall prediction error
+// below 4 % on average for communications and below 3 % for computations.
+func TestE9HeadlineErrors(t *testing.T) {
+	var comm, comp []float64
+	for _, r := range testbedResults {
+		comm = append(comm, r.Errors.CommAll)
+		comp = append(comp, r.Errors.CompAll)
+		t.Logf("%-14s comm %.2f%%  comp %.2f%%  avg %.2f%%",
+			r.Platform, r.Errors.CommAll, r.Errors.CompAll, r.Errors.Average)
+	}
+	if m := stats.Mean(comm); m > 4.0 {
+		t.Errorf("average communication error %.2f%% exceeds the paper's 4%%", m)
+	}
+	if m := stats.Mean(comp); m > 3.0 {
+		t.Errorf("average computation error %.2f%% exceeds the paper's ≈3%%", m)
+	}
+}
+
+// TestE9PlatformOrdering: pyxis is the hardest platform for communication
+// predictions (especially non-samples, §IV-B(e)); occigen is the easiest
+// (§IV-B(d)).
+func TestE9PlatformOrdering(t *testing.T) {
+	pyxis := resultFor(t, "pyxis").Errors
+	occigen := resultFor(t, "occigen").Errors
+	for _, r := range testbedResults {
+		if r.Platform == "pyxis" {
+			continue
+		}
+		if r.Errors.CommAll > pyxis.CommAll {
+			t.Errorf("%s comm error %.2f%% exceeds pyxis' %.2f%% — pyxis must be worst",
+				r.Platform, r.Errors.CommAll, pyxis.CommAll)
+		}
+		if r.Errors.Average < occigen.Average {
+			t.Errorf("%s average %.2f%% beats occigen's %.2f%% — occigen must be best",
+				r.Platform, r.Errors.Average, occigen.Average)
+		}
+	}
+	// The pyxis failure mode is specifically non-sample placements
+	// (locality-sensitive network, Table II: 1.15% vs 13.32%).
+	if pyxis.CommNonSamples < 2*pyxis.CommSamples {
+		t.Errorf("pyxis non-sample comm error (%.2f%%) must dwarf the sample error (%.2f%%)",
+			pyxis.CommNonSamples, pyxis.CommSamples)
+	}
+	if pyxis.CommNonSamples < 8 {
+		t.Errorf("pyxis non-sample comm error %.2f%%, paper reports ≈13%%", pyxis.CommNonSamples)
+	}
+	if occigen.Average > 1.0 {
+		t.Errorf("occigen average %.2f%%, paper reports ≈0.2%%", occigen.Average)
+	}
+}
+
+// TestE3DiagonalContention: on henri, contention hurts computations only
+// when both streams share a NUMA node (the diagonal subplots of Fig 3);
+// in other placements computations keep their alone bandwidth (§IV-C2).
+func TestE3DiagonalContention(t *testing.T) {
+	r := resultFor(t, "henri")
+	for _, pr := range r.Placements {
+		last := pr.Measured.Points[len(pr.Measured.Points)-1]
+		sameNode := pr.Placement.Comp == pr.Placement.Comm
+		drop := (last.CompAlone - last.CompPar) / last.CompAlone
+		if sameNode && drop < 0.02 {
+			t.Errorf("%v: same-node computations must lose bandwidth (drop %.1f%%)", pr.Placement, 100*drop)
+		}
+		if !sameNode && drop > 0.02 {
+			t.Errorf("%v: cross-node computations must be almost unimpacted (drop %.1f%%)", pr.Placement, 100*drop)
+		}
+	}
+}
+
+// TestE3CommThrottledFirstWithFloor: §II-A hypotheses — communications
+// are reduced first under contention, but never below a guaranteed
+// minimum; computations only degrade afterwards.
+func TestE3CommThrottledFirstWithFloor(t *testing.T) {
+	r := resultFor(t, "henri")
+	for _, pr := range r.Placements {
+		if pr.Placement.Comp != pr.Placement.Comm {
+			continue
+		}
+		floorSeen := 1.0
+		for _, pt := range pr.Measured.Points {
+			frac := pt.CommPar / pt.CommAlone
+			if frac < floorSeen {
+				floorSeen = frac
+			}
+		}
+		if floorSeen > 0.5 {
+			t.Errorf("%v: communications never significantly throttled (min %.0f%%)", pr.Placement, 100*floorSeen)
+		}
+		if floorSeen < 0.15 {
+			t.Errorf("%v: communication floor violated (min %.0f%% of nominal)", pr.Placement, 100*floorSeen)
+		}
+	}
+}
+
+// TestE4RemoteSymmetry: on henri-subnuma, placements using different
+// remote NUMA nodes behave identically regardless of which nodes they are
+// (the topology symmetries of §IV-B(b)).
+func TestE4RemoteSymmetry(t *testing.T) {
+	r := resultFor(t, "henri-subnuma")
+	get := func(comp, comm NodeID) *eval.PlacementResult {
+		for _, pr := range r.Placements {
+			if pr.Placement.Comp == comp && pr.Placement.Comm == comm {
+				return pr
+			}
+		}
+		t.Fatalf("missing placement %d/%d", comp, comm)
+		return nil
+	}
+	// (comp@2, comm@3) and (comp@3, comm@2): different remote nodes.
+	a, b := get(2, 3), get(3, 2)
+	for i := range a.Measured.Points {
+		pa, pb := a.Measured.Points[i], b.Measured.Points[i]
+		if relDiff(pa.CompPar, pb.CompPar) > 0.05 {
+			t.Errorf("n=%d: remote cross placements differ in compute (%.2f vs %.2f)", pa.N, pa.CompPar, pb.CompPar)
+		}
+	}
+	// Same-remote-node placement (2,2) must show MORE contention than the
+	// different-remote-node one (2,3): the bottleneck is the memory
+	// controller, not the inter-socket link (§IV-C2 lessons learned).
+	same, diff := get(2, 2), get(2, 3)
+	lastSame := same.Measured.Points[len(same.Measured.Points)-1]
+	lastDiff := diff.Measured.Points[len(diff.Measured.Points)-1]
+	if lastSame.CompPar >= lastDiff.CompPar {
+		t.Errorf("same remote node must hurt computations more: %.2f vs %.2f", lastSame.CompPar, lastDiff.CompPar)
+	}
+}
+
+// TestE5DiabloNICLocality: the diablo NIC locality split (§IV-B(c)):
+// ≈12.1 GB/s with comm data on node 0 vs ≈22.4 GB/s on node 1 (ratio
+// ≈1.85), and almost no contention anywhere.
+func TestE5DiabloNICLocality(t *testing.T) {
+	r := resultFor(t, "diablo")
+	var comm0, comm1 float64
+	for _, pr := range r.Placements {
+		pt := pr.Measured.Points[0]
+		if pr.Placement.Comm == 0 {
+			comm0 = pt.CommAlone
+		} else {
+			comm1 = pt.CommAlone
+		}
+	}
+	ratio := comm1 / comm0
+	if ratio < 1.6 || ratio > 2.1 {
+		t.Errorf("diablo NIC locality ratio %.2f, want ≈1.85", ratio)
+	}
+	// Almost no contention: even at full core count, communications keep
+	// most of their bandwidth in every placement.
+	for _, pr := range r.Placements {
+		last := pr.Measured.Points[len(pr.Measured.Points)-1]
+		if last.CommPar < 0.5*last.CommAlone {
+			t.Errorf("diablo %v: unexpected heavy contention (%.1f of %.1f GB/s)",
+				pr.Placement, last.CommPar, last.CommAlone)
+		}
+	}
+}
+
+// TestE6OccigenCommNeverThrottled: §IV-B(d) — on occigen only
+// computations are impacted; communications always keep nominal rate.
+func TestE6OccigenCommNeverThrottled(t *testing.T) {
+	r := resultFor(t, "occigen")
+	for _, pr := range r.Placements {
+		for _, pt := range pr.Measured.Points {
+			if relDiff(pt.CommPar, pt.CommAlone) > 0.02 {
+				t.Errorf("occigen %v n=%d: comm %.2f vs alone %.2f — must be unimpacted",
+					pr.Placement, pt.N, pt.CommPar, pt.CommAlone)
+			}
+		}
+		// ... and computations DO pay in the same-remote-node case.
+		if pr.Placement.Comp == 1 && pr.Placement.Comm == 1 {
+			last := pr.Measured.Points[len(pr.Measured.Points)-1]
+			if last.CompPar >= last.CompAlone {
+				t.Error("occigen remote computations must be impacted")
+			}
+		}
+	}
+}
+
+// TestE2StackedShape: Figure 2's qualitative shape on henri-subnuma
+// local-local: the stacked parallel total peaks above the compute-alone
+// maximum, at fewer cores, then declines.
+func TestE2StackedShape(t *testing.T) {
+	r := resultFor(t, "henri-subnuma")
+	st, err := eval.StackedFor(r, Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalMax, aloneMax float64
+	var nTotalMax, nAloneMax int
+	for _, p := range st.Points {
+		if p.TotalPar > totalMax {
+			totalMax, nTotalMax = p.TotalPar, p.N
+		}
+		if p.CompAlone > aloneMax {
+			aloneMax, nAloneMax = p.CompAlone, p.N
+		}
+	}
+	if totalMax <= aloneMax {
+		t.Errorf("TparMax (%.1f) must exceed TseqMax (%.1f): DMA extracts extra bandwidth", totalMax, aloneMax)
+	}
+	if nTotalMax >= nAloneMax {
+		t.Errorf("NparMax (%d) must come before NseqMax (%d)", nTotalMax, nAloneMax)
+	}
+	last := st.Points[len(st.Points)-1]
+	if last.TotalPar >= totalMax {
+		t.Error("stacked total must decline after its maximum")
+	}
+}
+
+// TestE9Determinism: the whole evaluation is bit-for-bit reproducible.
+func TestE9Determinism(t *testing.T) {
+	again, err := Evaluate("henri", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := resultFor(t, "henri")
+	if again.Errors != ref.Errors {
+		t.Errorf("evaluation not deterministic: %+v vs %+v", again.Errors, ref.Errors)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == 0 && b == 0 {
+		return 0
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d / m
+}
+
+// TestE7PyxisSoftSaturation: §IV-B(e) — on pyxis the memory bandwidth for
+// computations "does not scale well when it gets closer to the threshold":
+// the last pre-saturation cores add visibly less than BCompSeq each.
+func TestE7PyxisSoftSaturation(t *testing.T) {
+	r := resultFor(t, "pyxis")
+	for _, pr := range r.Placements {
+		if pr.Placement != (Placement{Comp: 0, Comm: 0}) {
+			continue
+		}
+		pts := pr.Measured.Points
+		perCore := pts[0].CompAlone
+		// Gain from the antepenultimate pre-knee step.
+		knee := r.Model.Local.NSeqMax
+		if knee < 4 || knee >= len(pts) {
+			t.Fatalf("unexpected knee %d", knee)
+		}
+		gain := pts[knee-1].CompAlone - pts[knee-2].CompAlone
+		if gain > 0.8*perCore {
+			t.Errorf("pyxis near-threshold gain %.2f should bend below the per-core rate %.2f", gain, perCore)
+		}
+	}
+}
+
+// TestE8DahuShapes: dahu reproduces the Intel contention shapes with
+// Omni-Path numbers: nominal comm ≈ 10.3 GB/s, throttled to its floor
+// under full local contention.
+func TestE8DahuShapes(t *testing.T) {
+	r := resultFor(t, "dahu")
+	local := r.Model.Local
+	if local.BCommSeq < 9.5 || local.BCommSeq > 11 {
+		t.Errorf("dahu nominal comm %.2f, want ≈10.3 (Omni-Path)", local.BCommSeq)
+	}
+	if local.Alpha > 0.5 {
+		t.Errorf("dahu must throttle communications under contention (α=%.2f)", local.Alpha)
+	}
+	if local.NParMax >= local.NSeqMax {
+		t.Errorf("dahu must show a δl region (NPar=%d NSeq=%d)", local.NParMax, local.NSeqMax)
+	}
+}
+
+// TestE5DiabloModelStillAccurate: §IV-B(c) — "our model succeeds in
+// predicting performances, even if there is almost no contention".
+func TestE5DiabloModelStillAccurate(t *testing.T) {
+	e := resultFor(t, "diablo").Errors
+	if e.Average > 3.0 {
+		t.Errorf("diablo average error %.2f%%, paper reports 1.44%%", e.Average)
+	}
+	// And the calibrated remote nominal must carry the NIC locality.
+	m := resultFor(t, "diablo").Model
+	if m.Remote.BCommSeq < 1.5*m.Local.BCommSeq {
+		t.Errorf("calibrated nominals must carry the locality split (%.1f vs %.1f)",
+			m.Remote.BCommSeq, m.Local.BCommSeq)
+	}
+}
+
+// TestPredictionsMatchEquationValues: the evaluation's stored predictions
+// must be exactly what the model computes (no drift between the figure
+// data and the equations).
+func TestPredictionsMatchEquationValues(t *testing.T) {
+	r := resultFor(t, "henri")
+	for _, pr := range r.Placements {
+		for i, pt := range pr.Measured.Points {
+			want, err := r.Model.Predict(pt.N, pr.Placement)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pr.Predicted[i] != want {
+				t.Fatalf("%v n=%d: stored prediction diverges from the model", pr.Placement, pt.N)
+			}
+		}
+	}
+}
+
+// TestE9SeedRobustness: the headline holds for more than the default seed.
+func TestE9SeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed evaluation")
+	}
+	for _, seed := range []uint64{7, 12345} {
+		results, err := EvaluateTestbed(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var comm []float64
+		for _, r := range results {
+			comm = append(comm, r.Errors.CommAll)
+		}
+		if m := stats.Mean(comm); m > 4.0 {
+			t.Errorf("seed %d: average comm error %.2f%% exceeds 4%%", seed, m)
+		}
+	}
+}

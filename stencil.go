@@ -1,0 +1,54 @@
+package memcontention
+
+import (
+	"memcontention/internal/stencil"
+)
+
+// Stencil application re-exports: the §VI use case of a contention-aware
+// runtime driving an iterative halo-exchange solver.
+type (
+	// StencilConfig parameterises the application.
+	StencilConfig = stencil.Config
+	// StencilResult reports a run.
+	StencilResult = stencil.Result
+	// StencilAdvice is the advisor's recommended configuration.
+	StencilAdvice = stencil.Advice
+	// StencilSchedule orders an iteration.
+	StencilSchedule = stencil.Schedule
+)
+
+// Stencil schedules.
+const (
+	// StencilSequential computes, then communicates (no overlap).
+	StencilSequential = stencil.Sequential
+	// StencilOverlap overlaps the halo exchange with the computation.
+	StencilOverlap = stencil.Overlap
+)
+
+// RunStencil executes the halo-exchange application on a cluster. Like
+// Cluster.Run, one cluster runs one job.
+func RunStencil(c *Cluster, cfg StencilConfig) (StencilResult, error) {
+	return stencil.Run(c, cfg)
+}
+
+// AdviseStencil searches every (cores, placement) configuration with the
+// calibrated model and returns the one minimising the predicted
+// overlapped iteration time.
+func AdviseStencil(m Model, plat *Platform, base StencilConfig) (StencilAdvice, error) {
+	return stencil.Advise(m, plat, base)
+}
+
+// PredictStencilIteration estimates one configuration's overlapped
+// iteration time from the model.
+func PredictStencilIteration(m Model, cfg StencilConfig) (StencilAdvice, error) {
+	return stencil.PredictIteration(m, cfg)
+}
+
+// NaiveStencilConfig is the contention-unaware default: all cores of the
+// first socket, every buffer on node 0.
+func NaiveStencilConfig(plat *Platform, base StencilConfig) StencilConfig {
+	return stencil.NaiveConfig(plat, base)
+}
+
+// interface check: *Cluster satisfies the stencil runner contract.
+var _ stencil.Runner = (*Cluster)(nil)
