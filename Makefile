@@ -1,0 +1,30 @@
+# Development targets. `make check` is the pre-merge gate (see ROADMAP.md).
+
+GO ?= go
+
+.PHONY: check vet build test race repro bench fmt
+
+check: vet build race repro ## pre-merge gate: vet + build + race tests + reproduction
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+repro:
+	$(GO) test -run TestReproduction ./...
+
+# bench refreshes the benchmark log used to track instrumentation
+# overhead (compare against BENCH_baseline.json).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./scripts/benchjson
+
+fmt:
+	gofmt -l -w .

@@ -7,6 +7,7 @@ import (
 	"memcontention/internal/hwloc"
 	"memcontention/internal/kernels"
 	"memcontention/internal/mpi"
+	"memcontention/internal/obs"
 	"memcontention/internal/simnet"
 	"memcontention/internal/units"
 )
@@ -58,6 +59,7 @@ type Cluster struct {
 	sim      *engine.Sim
 	fabric   *simnet.Fabric
 	machines []*simnet.Machine
+	reg      *obs.Registry
 	ran      bool
 }
 
@@ -100,6 +102,32 @@ func NewCustomCluster(plat *Platform, prof *HardwareProfile, n int) (*Cluster, e
 	return c, nil
 }
 
+// WithRegistry attaches a telemetry registry to the cluster: the
+// simulation engine and every machine's flow manager publish their
+// instruments into it, and Run records cluster-level metrics. A nil
+// registry (the default) keeps all instrumentation disabled at zero
+// cost. It returns the cluster for chaining.
+func (c *Cluster) WithRegistry(r *obs.Registry) *Cluster {
+	c.reg = r
+	c.sim.SetRegistry(r)
+	for _, m := range c.machines {
+		m.Flows.SetRegistry(r)
+	}
+	return c
+}
+
+// Registry returns the attached telemetry registry (nil when none).
+func (c *Cluster) Registry() *obs.Registry { return c.reg }
+
+// WithObserver installs a flow observer (for example a trace.Recorder)
+// on every machine's flow manager. It returns the cluster for chaining.
+func (c *Cluster) WithObserver(o engine.FlowObserver) *Cluster {
+	for _, m := range c.machines {
+		m.Flows.SetObserver(o)
+	}
+	return c
+}
+
 // Machines returns the cluster's nodes.
 func (c *Cluster) Machines() []*simnet.Machine { return c.machines }
 
@@ -119,8 +147,11 @@ func (c *Cluster) Run(ranksPerMachine int, main func(*RankCtx)) (simSeconds floa
 		return 0, err
 	}
 	world.Launch(main)
-	if err := c.sim.Run(); err != nil {
-		return c.sim.Now(), err
+	runErr := c.sim.Run()
+	if c.reg != nil {
+		c.reg.Counter("memcontention_cluster_runs_total", "MPI jobs executed on simulated clusters.", nil).Inc()
+		c.reg.Gauge("memcontention_cluster_ranks", "MPI ranks of the last job.", nil).Set(float64(ranksPerMachine * len(c.machines)))
+		c.reg.Gauge("memcontention_cluster_sim_seconds", "Simulated duration of the last job.", nil).Set(c.sim.Now())
 	}
-	return c.sim.Now(), nil
+	return c.sim.Now(), runErr
 }

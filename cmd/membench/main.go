@@ -22,6 +22,7 @@ import (
 	"memcontention/internal/kernels"
 	"memcontention/internal/memsys"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
 )
@@ -37,15 +38,20 @@ func main() {
 	seed := flag.Uint64("seed", 1, "measurement noise seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of a text table")
 	bidir := flag.Bool("bidir", false, "bidirectional communications (ping-pong extension)")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine, false)
 	flag.Parse()
 
-	if err := run(*platform, *platformFile, *profileFile, *comp, *comm, *kernelName, *msgSize, *seed, *csvOut, *bidir); err != nil {
+	if err := run(*platform, *platformFile, *profileFile, *comp, *comm, *kernelName, *msgSize, *seed, *csvOut, *bidir, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "membench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform, platformFile, profileFile string, comp, comm int, kernelName, msgSize string, seed uint64, csvOut, bidir bool) error {
+func run(platform, platformFile, profileFile string, comp, comm int, kernelName, msgSize string, seed uint64, csvOut, bidir bool, cli *obs.CLI) error {
+	if err := cli.Start(); err != nil {
+		return err
+	}
 	var plat *topology.Platform
 	var prof *memsys.Profile
 	var err error
@@ -69,6 +75,7 @@ func run(platform, platformFile, profileFile string, comp, comm int, kernelName,
 	if err != nil {
 		return err
 	}
+	reg := cli.NewRegistry()
 	runner, err := bench.NewRunner(bench.Config{
 		Platform:      plat,
 		Profile:       prof,
@@ -76,6 +83,7 @@ func run(platform, platformFile, profileFile string, comp, comm int, kernelName,
 		MessageSize:   size,
 		Seed:          seed,
 		Bidirectional: bidir,
+		Registry:      reg,
 	})
 	if err != nil {
 		return err
@@ -104,7 +112,13 @@ func run(platform, platformFile, profileFile string, comp, comm int, kernelName,
 		}
 		fmt.Println()
 	}
-	return nil
+	man := obs.NewManifest("membench")
+	man.Platform = plat.Name
+	man.Kernel = kern.String()
+	man.Seed = seed
+	man.Args = os.Args[1:]
+	man.Notes = map[string]string{"message_size": size.String()}
+	return cli.Finish(reg, nil, man)
 }
 
 func kernelByName(name string) (kernels.Kernel, error) {

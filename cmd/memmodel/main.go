@@ -7,6 +7,13 @@
 //	memmodel -platform henri -json                # params as JSON
 //	memmodel -platform henri -n 12 -comp 0 -comm 1   # one prediction
 //	memmodel -platform henri -predict             # predictions, all placements
+//
+// Telemetry (all optional, see docs/observability.md):
+//
+//	memmodel -platform henri -metrics m.prom      # Prometheus snapshot
+//	memmodel -platform henri -trace t.jsonl       # DES cross-check trace
+//	memmodel -platform henri -manifest run.json   # reproducibility manifest
+//	memmodel -platform henri -pprof localhost:6060
 package main
 
 import (
@@ -14,11 +21,14 @@ import (
 	"fmt"
 	"os"
 
+	"memcontention"
 	"memcontention/internal/bench"
 	"memcontention/internal/calib"
 	"memcontention/internal/export"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
+	"memcontention/internal/trace"
 )
 
 func main() {
@@ -29,20 +39,26 @@ func main() {
 	n := flag.Int("n", 0, "predict for this number of computing cores")
 	comp := flag.Int("comp", 0, "computation data NUMA node for -n")
 	comm := flag.Int("comm", 0, "communication data NUMA node for -n")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine, true)
 	flag.Parse()
 
-	if err := run(*platform, *seed, *jsonOut, *predict, *n, *comp, *comm); err != nil {
+	if err := run(*platform, *seed, *jsonOut, *predict, *n, *comp, *comm, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "memmodel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int) error {
+func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int, cli *obs.CLI) error {
+	if err := cli.Start(); err != nil {
+		return err
+	}
 	plat, err := topology.ByName(platform)
 	if err != nil {
 		return err
 	}
-	runner, err := bench.NewRunner(bench.Config{Platform: plat, Seed: seed})
+	reg := cli.NewRegistry()
+	runner, err := bench.NewRunner(bench.Config{Platform: plat, Seed: seed, Registry: reg})
 	if err != nil {
 		return err
 	}
@@ -53,21 +69,20 @@ func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int)
 
 	switch {
 	case jsonOut:
-		return export.WriteJSON(os.Stdout, m)
+		err = export.WriteJSON(os.Stdout, m)
 	case n > 0:
 		pl := model.Placement{Comp: topology.NodeID(comp), Comm: topology.NodeID(comm)}
-		pred, err := m.Predict(n, pl)
-		if err != nil {
-			return err
+		pred, perr := m.Predict(n, pl)
+		if perr != nil {
+			return perr
 		}
 		fmt.Printf("%s, %v, n=%d: computations %.2f GB/s, communications %.2f GB/s\n",
 			platform, pl, n, pred.Comp, pred.Comm)
-		return nil
 	case predict:
 		for _, pl := range bench.AllPlacements(plat) {
-			preds, err := m.PredictCurve(plat.CoresPerSocket(), pl)
-			if err != nil {
-				return err
+			preds, perr := m.PredictCurve(plat.CoresPerSocket(), pl)
+			if perr != nil {
+				return perr
 			}
 			t := export.NewTable(fmt.Sprintf("%s — predicted bandwidths for %v (GB/s)", platform, pl),
 				"n", "computations", "communications")
@@ -79,10 +94,84 @@ func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int)
 			}
 			fmt.Println()
 		}
-		return nil
 	default:
-		return export.ParamsTable(
+		err = export.ParamsTable(
 			fmt.Sprintf("Calibrated model for %s (seed %d)", platform, seed), m,
 		).WriteText(os.Stdout)
 	}
+	if err != nil {
+		return err
+	}
+
+	// The DES cross-check replays the paper's motivating overlap scenario
+	// on the simulated cluster; it feeds the event trace and the engine's
+	// instruments. Only run it when some telemetry output wants the data.
+	var rec *trace.Recorder
+	if cli.WantsTrace() || reg != nil {
+		if cli.WantsTrace() {
+			rec = trace.NewRecorder()
+		}
+		if err := crossCheck(platform, plat, reg, rec); err != nil {
+			return err
+		}
+	}
+
+	man := obs.NewManifest("memmodel")
+	man.Platform = platform
+	man.Seed = seed
+	man.Kernel = runner.Config().Kernel.String()
+	man.Args = os.Args[1:]
+	return cli.Finish(reg, rec, man)
+}
+
+// crossCheck runs a two-machine overlap job (rank 0 computes while a
+// large message streams in, rank 1 sends) under the discrete-event
+// simulator, recording flow events and engine metrics.
+func crossCheck(platform string, plat *topology.Platform, reg *obs.Registry, rec *trace.Recorder) error {
+	cluster, err := memcontention.NewCluster(platform, 2)
+	if err != nil {
+		return err
+	}
+	cluster.WithRegistry(reg)
+	if rec != nil {
+		cluster.WithObserver(rec)
+	}
+	const tag = 7
+	msg := 64 * memcontention.MiB
+	cores := plat.CoresPerSocket() / 2
+	if cores < 1 {
+		cores = 1
+	}
+	_, err = cluster.Run(1, func(ctx *memcontention.RankCtx) {
+		switch ctx.Rank() {
+		case 0:
+			topo := ctx.Machine().Topo
+			work := memcontention.Assignment{
+				Kernel: memcontention.DefaultKernel(),
+				Cores:  topo.SocketSet(0).Take(cores),
+				Node:   0,
+			}
+			if rec != nil {
+				rec.MarkAt(ctx.Now(), "overlap-start")
+			}
+			req, err := ctx.Irecv(1, tag, msg, 0)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := ctx.Compute(work, 256*memcontention.MiB); err != nil {
+				panic(err)
+			}
+			if _, err := ctx.Wait(req); err != nil {
+				panic(err)
+			}
+			if rec != nil {
+				rec.MarkAt(ctx.Now(), "overlap-end")
+			}
+		case 1:
+			if err := ctx.Send(0, tag, msg, 0, nil); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return err
 }

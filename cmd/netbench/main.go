@@ -6,6 +6,7 @@
 //
 //	netbench -platform henri
 //	netbench -platform diablo -node 1 -iters 8
+//	netbench -platform henri -metrics m.prom -manifest run.json
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"memcontention/internal/export"
 	"memcontention/internal/netbench"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
 )
 
@@ -23,23 +25,30 @@ func main() {
 	node := flag.Int("node", 0, "NUMA node holding the buffers on both machines")
 	iters := flag.Int("iters", 4, "round trips per message size")
 	csvOut := flag.Bool("csv", false, "emit CSV")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine, false)
 	flag.Parse()
 
-	if err := run(*platform, *node, *iters, *csvOut); err != nil {
+	if err := run(*platform, *node, *iters, *csvOut, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "netbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform string, node, iters int, csvOut bool) error {
+func run(platform string, node, iters int, csvOut bool, cli *obs.CLI) error {
+	if err := cli.Start(); err != nil {
+		return err
+	}
 	plat, err := topology.ByName(platform)
 	if err != nil {
 		return err
 	}
+	reg := cli.NewRegistry()
 	points, err := netbench.PingPong(netbench.Config{
 		Platform:   plat,
 		Node:       topology.NodeID(node),
 		Iterations: iters,
+		Registry:   reg,
 	})
 	if err != nil {
 		return err
@@ -52,7 +61,18 @@ func run(platform string, node, iters int, csvOut bool) error {
 		t.AddRow(p.Size.String(), fmt.Sprintf("%.2f", p.HalfRTT*1e6), export.GBs(p.Bandwidth))
 	}
 	if csvOut {
-		return t.WriteCSV(os.Stdout)
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+	} else if err := t.WriteText(os.Stdout); err != nil {
+		return err
 	}
-	return t.WriteText(os.Stdout)
+	man := obs.NewManifest("netbench")
+	man.Platform = plat.Name
+	man.Args = os.Args[1:]
+	man.Notes = map[string]string{
+		"node":       fmt.Sprint(node),
+		"iterations": fmt.Sprint(iters),
+	}
+	return cli.Finish(reg, nil, man)
 }

@@ -25,6 +25,7 @@ import (
 	"memcontention/internal/eval"
 	"memcontention/internal/export"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/plot"
 	"memcontention/internal/report"
 	"memcontention/internal/sweep"
@@ -38,9 +39,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "measurement noise seed")
 	workers := flag.Int("workers", 0, "parallel evaluations (0: GOMAXPROCS)")
 	ascii := flag.Bool("plot", false, "render figures as ASCII charts instead of CSV")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine, false)
 	flag.Parse()
 
-	if err := run(*table, *fig, *out, *seed, *workers, *ascii); err != nil {
+	if err := run(*table, *fig, *out, *seed, *workers, *ascii, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "paperfigs:", err)
 		os.Exit(1)
 	}
@@ -57,7 +60,23 @@ var figPlatform = map[int]string{
 	8: "dahu",
 }
 
-func run(table, fig int, out string, seed uint64, workers int, ascii bool) error {
+func run(table, fig int, out string, seed uint64, workers int, ascii bool, cli *obs.CLI) error {
+	if err := cli.Start(); err != nil {
+		return err
+	}
+	reg := cli.NewRegistry()
+	if err := dispatch(table, fig, out, seed, workers, ascii, reg); err != nil {
+		return err
+	}
+	man := obs.NewManifest("paperfigs")
+	man.Seed = seed
+	man.Args = os.Args[1:]
+	return cli.Finish(reg, nil, man)
+}
+
+// dispatch renders the requested artifacts, recording telemetry into reg
+// (shared by the parallel evaluations; nil disables instrumentation).
+func dispatch(table, fig int, out string, seed uint64, workers int, ascii bool, reg *obs.Registry) error {
 	if table == 1 {
 		return eval.Table1(topology.Testbed()).WriteText(os.Stdout)
 	}
@@ -90,7 +109,7 @@ func run(table, fig int, out string, seed uint64, workers int, ascii bool) error
 		if err != nil {
 			return nil, err
 		}
-		return eval.EvaluatePlatform(bench.Config{Platform: plat, Seed: seed})
+		return eval.EvaluatePlatform(bench.Config{Platform: plat, Seed: seed, Registry: reg})
 	})
 	if err != nil {
 		return err

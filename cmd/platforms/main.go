@@ -18,6 +18,7 @@ import (
 	"memcontention/internal/eval"
 	"memcontention/internal/hwloc"
 	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
 )
 
@@ -26,19 +27,33 @@ func main() {
 	profiles := flag.Bool("profiles", false, "show simulated hardware profiles")
 	topo := flag.Bool("topo", false, "draw the lstopo-style ASCII topology")
 	exportDir := flag.String("export", "", "write <name>.platform.json and <name>.profile.json files into this directory")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine, false)
 	flag.Parse()
 
-	if *exportDir != "" {
-		if err := exportAll(*exportDir); err != nil {
-			fmt.Fprintln(os.Stderr, "platforms:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*name, *profiles, *topo); err != nil {
+	if err := runCLI(*name, *profiles, *topo, *exportDir, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "platforms:", err)
 		os.Exit(1)
 	}
+}
+
+func runCLI(name string, profiles, topo bool, exportDir string, cli *obs.CLI) error {
+	if err := cli.Start(); err != nil {
+		return err
+	}
+	var err error
+	if exportDir != "" {
+		err = exportAll(exportDir)
+	} else {
+		err = run(name, profiles, topo)
+	}
+	if err != nil {
+		return err
+	}
+	man := obs.NewManifest("platforms")
+	man.Platform = name
+	man.Args = os.Args[1:]
+	return cli.Finish(cli.NewRegistry(), nil, man)
 }
 
 // exportAll dumps every built-in platform and profile as JSON files that

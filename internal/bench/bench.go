@@ -17,6 +17,7 @@ import (
 	"memcontention/internal/kernels"
 	"memcontention/internal/memsys"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/rng"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
@@ -41,6 +42,10 @@ type Config struct {
 	// Bidirectional adds the paper's §VI extension: a second,
 	// send-direction stream (ping-pong instead of pong-only).
 	Bidirectional bool
+	// Registry, when set, receives benchmark telemetry (sample counts,
+	// solver calls, bandwidth histograms). Nil disables instrumentation
+	// at zero cost.
+	Registry *obs.Registry
 }
 
 // withDefaults fills unset fields.
@@ -119,6 +124,29 @@ func (c *Curve) Series(name string) ([]float64, error) {
 type Runner struct {
 	cfg Config
 	sys *memsys.System
+	m   benchInstruments
+}
+
+// benchInstruments are the runner's telemetry hooks; nil instruments
+// (no registry configured) record nothing.
+type benchInstruments struct {
+	points     *obs.Counter
+	solves     *obs.Counter
+	placements *obs.Counter
+	compBW     *obs.Histogram
+	commBW     *obs.Histogram
+}
+
+// newBenchInstruments registers the runner's instruments (all nil when
+// r is nil).
+func newBenchInstruments(r *obs.Registry) benchInstruments {
+	return benchInstruments{
+		points:     r.Counter("memcontention_bench_points_total", "Benchmark points measured (one per core count per placement).", nil),
+		solves:     r.Counter("memcontention_bench_solves_total", "Steady-state solver calls issued by the benchmark.", nil),
+		placements: r.Counter("memcontention_bench_placements_total", "Placement sweeps completed.", nil),
+		compBW:     r.Histogram("memcontention_bench_comp_bandwidth_gbps", "Measured parallel computation bandwidths.", obs.BandwidthBuckets(), nil),
+		commBW:     r.Histogram("memcontention_bench_comm_bandwidth_gbps", "Measured parallel communication bandwidths.", obs.BandwidthBuckets(), nil),
+	}
 }
 
 // NewRunner validates the configuration and builds the machine.
@@ -134,7 +162,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
-	return &Runner{cfg: cfg, sys: sys}, nil
+	return &Runner{cfg: cfg, sys: sys, m: newBenchInstruments(cfg.Registry)}, nil
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -142,6 +170,11 @@ func (r *Runner) Config() Config { return r.cfg }
 
 // System returns the simulated machine.
 func (r *Runner) System() *memsys.System { return r.sys }
+
+// Registry returns the configured telemetry registry (nil when
+// instrumentation is off); calibration and evaluation layers built on a
+// runner inherit it.
+func (r *Runner) Registry() *obs.Registry { return r.cfg.Registry }
 
 // computeStreams builds the weak-scaling kernel streams for n cores of
 // socket 0 with data on node.
@@ -225,13 +258,18 @@ func (r *Runner) MeasurePoint(pl model.Placement, n int) (Point, error) {
 		return Point{}, fmt.Errorf("bench: parallel solve: %w", err)
 	}
 
-	return Point{
+	pt := Point{
 		N:         n,
 		CompAlone: aloneComp.ComputeTotal * r.noise(pl, n, "comp_alone", r.compNoiseRel()),
 		CommAlone: aloneComm.CommTotal * r.noise(pl, n, "comm_alone", r.commNoiseRel()),
 		CompPar:   par.ComputeTotal * r.noise(pl, n, "comp_par", r.compNoiseRel()),
 		CommPar:   par.CommTotal * r.noise(pl, n, "comm_par", r.commNoiseRel()),
-	}, nil
+	}
+	r.m.points.Inc()
+	r.m.solves.Add(3)
+	r.m.compBW.Observe(pt.CompPar)
+	r.m.commBW.Observe(pt.CommPar)
+	return pt, nil
 }
 
 // RunPlacement sweeps n = 1..cores(socket 0) for one placement.
@@ -253,6 +291,7 @@ func (r *Runner) RunPlacement(pl model.Placement) (*Curve, error) {
 		}
 		curve.Points = append(curve.Points, pt)
 	}
+	r.m.placements.Inc()
 	return curve, nil
 }
 

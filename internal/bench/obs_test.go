@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+
+	"memcontention/internal/model"
+	"memcontention/internal/obs"
+	"memcontention/internal/topology"
+)
+
+func TestRunnerInstrumentation(t *testing.T) {
+	plat, err := topology.ByName("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r, err := NewRunner(Config{Platform: plat, Seed: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Registry() != reg {
+		t.Fatal("Registry() must return the configured registry")
+	}
+	curve, err := r.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(len(curve.Points))
+	if got := reg.Counter("memcontention_bench_points_total", "", nil).Value(); got != n {
+		t.Errorf("points counter = %v, want %v", got, n)
+	}
+	if got := reg.Counter("memcontention_bench_solves_total", "", nil).Value(); got != 3*n {
+		t.Errorf("solves counter = %v, want %v", got, 3*n)
+	}
+	if got := reg.Counter("memcontention_bench_placements_total", "", nil).Value(); got != 1 {
+		t.Errorf("placements counter = %v, want 1", got)
+	}
+	if got := reg.Histogram("memcontention_bench_comm_bandwidth_gbps", "", nil, nil).Count(); got != uint64(n) {
+		t.Errorf("comm bandwidth observations = %d, want %v", got, n)
+	}
+	if got := reg.Histogram("memcontention_bench_comp_bandwidth_gbps", "", nil, nil).Count(); got != uint64(n) {
+		t.Errorf("comp bandwidth observations = %d, want %v", got, n)
+	}
+}
+
+// TestRunnerNilRegistry ensures benchmarking without telemetry yields the
+// exact same measurements (instrumentation must not perturb results).
+func TestRunnerNilRegistry(t *testing.T) {
+	plat, err := topology.ByName("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := NewRunner(Config{Platform: plat, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wired, err := NewRunner(Config{Platform: plat, Seed: 1, Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bare.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := wired.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs with registry attached: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}

@@ -11,9 +11,11 @@ package calib
 
 import (
 	"fmt"
+	"math"
 
 	"memcontention/internal/bench"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/stats"
 )
 
@@ -33,6 +35,9 @@ type Options struct {
 	// to the stacked total before knee detection (0 or 1 disables).
 	// Raw values are still used for the bandwidth parameters.
 	SmoothWindow int
+	// Registry, when set, receives calibration telemetry (fit counts,
+	// threshold values, residuals). Nil disables instrumentation.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -138,7 +143,29 @@ func CalibrateWith(curve *bench.Curve, opts Options) (model.Params, error) {
 	if err := p.Validate(); err != nil {
 		return model.Params{}, fmt.Errorf("calib: %s placement %v: %w", curve.Platform, curve.Placement, err)
 	}
+	recordCalibration(opts.Registry, curve, p, commAlone)
 	return p, nil
+}
+
+// recordCalibration publishes one successful parameter extraction: the
+// fitted threshold values as labelled gauges and the Bcomm_seq fit
+// residuals (how far each comm-alone sample sits from the averaged
+// nominal bandwidth) as a histogram. A nil registry records nothing.
+func recordCalibration(reg *obs.Registry, curve *bench.Curve, p model.Params, commAlone []float64) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("memcontention_calib_fits_total", "Successful parameter extractions.", nil).Inc()
+	labels := obs.L{"platform": curve.Platform, "placement": curve.Placement.String()}
+	reg.Gauge("memcontention_calib_alpha_ratio", "Worst-case fraction of nominal bandwidth kept by communications.", labels).Set(p.Alpha)
+	reg.Gauge("memcontention_calib_nseq_max_cores", "Cores at the compute-alone bandwidth maximum (NSeqMax).", labels).Set(float64(p.NSeqMax))
+	reg.Gauge("memcontention_calib_npar_max_cores", "Cores at the stacked parallel maximum (NParMax).", labels).Set(float64(p.NParMax))
+	reg.Gauge("memcontention_calib_tseq_max_gbps", "Compute-alone bandwidth at NSeqMax (TSeqMax).", labels).Set(p.TSeqMax)
+	reg.Gauge("memcontention_calib_tpar_max_gbps", "Stacked parallel bandwidth at NParMax (TParMax).", labels).Set(p.TParMax)
+	residuals := reg.Histogram("memcontention_calib_residual_gbps", "Absolute residuals of the Bcomm_seq fit over the sweep.", obs.ExponentialBuckets(1e-3, 4, 12), nil)
+	for _, v := range commAlone {
+		residuals.Observe(math.Abs(v - p.BCommSeq))
+	}
 }
 
 // CalibrateModel builds the full placement-combining model from the two
@@ -166,11 +193,13 @@ func CalibrateModelWith(local, remote *bench.Curve, nodesPerSocket int, opts Opt
 
 // CalibrateRunner runs the two sample placements on a benchmark runner
 // and calibrates the model in one step — the paper's complete §IV-A2
-// pipeline (two benchmark executions, then parameter extraction).
+// pipeline (two benchmark executions, then parameter extraction). The
+// runner's telemetry registry, when configured, also receives the
+// calibration instruments.
 func CalibrateRunner(r *bench.Runner) (model.Model, error) {
 	local, remote, err := r.RunSamples()
 	if err != nil {
 		return model.Model{}, fmt.Errorf("calib: sample runs: %w", err)
 	}
-	return CalibrateModel(local, remote, r.Config().Platform.NodesPerSocket())
+	return CalibrateModelWith(local, remote, r.Config().Platform.NodesPerSocket(), Options{Registry: r.Registry()})
 }

@@ -1,0 +1,58 @@
+package calib
+
+import (
+	"testing"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/obs"
+	"memcontention/internal/topology"
+)
+
+func TestCalibrationInstrumentation(t *testing.T) {
+	plat, err := topology.ByName("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r, err := bench.NewRunner(bench.Config{Platform: plat, Seed: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CalibrateRunner(r); err != nil {
+		t.Fatal(err)
+	}
+	// Two sample placements -> two fits.
+	if got := reg.Counter("memcontention_calib_fits_total", "", nil).Value(); got != 2 {
+		t.Errorf("fits counter = %v, want 2", got)
+	}
+	local := obs.L{"platform": "henri", "placement": "comp@0/comm@0"}
+	if got := reg.Gauge("memcontention_calib_alpha_ratio", "", local).Value(); got <= 0 || got > 1 {
+		t.Errorf("alpha gauge = %v, want in (0,1]", got)
+	}
+	if got := reg.Gauge("memcontention_calib_nseq_max_cores", "", local).Value(); got < 1 {
+		t.Errorf("NSeqMax gauge = %v, want >= 1", got)
+	}
+	if got := reg.Gauge("memcontention_calib_tseq_max_gbps", "", local).Value(); got <= 0 {
+		t.Errorf("TSeqMax gauge = %v, want > 0", got)
+	}
+	// One residual per sweep point per fit.
+	wantResiduals := uint64(2 * plat.CoresPerSocket())
+	if got := reg.Histogram("memcontention_calib_residual_gbps", "", nil, nil).Count(); got != wantResiduals {
+		t.Errorf("residual observations = %d, want %d", got, wantResiduals)
+	}
+}
+
+// TestCalibrateWithoutRegistry ensures the registry is genuinely optional.
+func TestCalibrateWithoutRegistry(t *testing.T) {
+	plat, err := topology.ByName("henri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := bench.NewRunner(bench.Config{Platform: plat, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CalibrateRunner(r); err != nil {
+		t.Fatal(err)
+	}
+}

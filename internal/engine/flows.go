@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
 	"memcontention/internal/units"
 )
 
@@ -32,10 +33,36 @@ type Flows struct {
 	pending *Timer
 	// observer, when set, is notified of flow lifecycle events.
 	observer FlowObserver
+	// m holds the optional instruments; nil instruments record nothing.
+	m flowInstruments
 }
 
 // SetObserver installs a flow observer (nil removes it).
 func (f *Flows) SetObserver(o FlowObserver) { f.observer = o }
+
+// flowInstruments are the flow manager's telemetry hooks.
+type flowInstruments struct {
+	started       *obs.Counter
+	finished      *obs.Counter
+	rateResolves  *obs.Counter
+	solverStreams *obs.Counter
+	activeFlows   *obs.Gauge
+	avgRate       *obs.Histogram
+}
+
+// SetRegistry registers the flow manager's instruments in r and starts
+// recording into them. A nil registry detaches. Several flow managers may
+// share one registry (the series aggregate across machines).
+func (f *Flows) SetRegistry(r *obs.Registry) {
+	f.m = flowInstruments{
+		started:       r.Counter("memcontention_engine_flows_started_total", "Transfers started by the flow manager.", nil),
+		finished:      r.Counter("memcontention_engine_flows_finished_total", "Transfers drained to completion.", nil),
+		rateResolves:  r.Counter("memcontention_engine_rate_resolves_total", "Steady-state rate re-solves.", nil),
+		solverStreams: r.Counter("memcontention_engine_solver_streams_total", "Streams passed to the memory-system solver, summed over re-solves.", nil),
+		activeFlows:   r.Gauge("memcontention_engine_active_flows", "Concurrently active transfers.", nil),
+		avgRate:       r.Histogram("memcontention_engine_flow_avg_rate_gbps", "Average bandwidth of finished flows.", obs.BandwidthBuckets(), nil),
+	}
+}
 
 // flow is one in-progress transfer.
 type flow struct {
@@ -81,6 +108,8 @@ func (f *Flows) Start(st memsys.Stream, size units.ByteSize) *Handle {
 	}
 	f.integrate()
 	f.active[id] = fl
+	f.m.started.Inc()
+	f.m.activeFlows.Set(float64(len(f.active)))
 	if f.observer != nil {
 		f.observer.FlowStarted(id, st, fl.remaining, fl.started)
 	}
@@ -179,6 +208,8 @@ func (f *Flows) resolve() {
 	if err != nil {
 		panic(fmt.Sprintf("engine: flow solve failed: %v", err))
 	}
+	f.m.rateResolves.Inc()
+	f.m.solverStreams.Add(float64(len(streams)))
 	nextAt := math.Inf(1)
 	now := f.sim.Now()
 	for _, id := range ids {
@@ -221,11 +252,14 @@ func (f *Flows) onCompletion() {
 			fl.finished = true
 			fl.completed = f.sim.Now()
 			delete(f.active, id)
+			avg := 0.0
+			if d := fl.completed - fl.started; d > 0 {
+				avg = fl.moved / units.BytesPerGB / d
+			}
+			f.m.finished.Inc()
+			f.m.activeFlows.Set(float64(len(f.active)))
+			f.m.avgRate.Observe(avg)
 			if f.observer != nil {
-				avg := 0.0
-				if d := fl.completed - fl.started; d > 0 {
-					avg = fl.moved / units.BytesPerGB / d
-				}
 				f.observer.FlowFinished(id, fl.completed, avg)
 			}
 			fl.done.Fire()

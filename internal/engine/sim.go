@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"memcontention/internal/obs"
 )
 
 // event is a scheduled callback. Events at equal times fire in scheduling
@@ -72,6 +74,28 @@ type Sim struct {
 	yield   chan struct{}
 	running bool
 	failure error
+	// m holds the optional instruments; the zero value (nil pointers)
+	// makes every recording call a no-op.
+	m simInstruments
+}
+
+// simInstruments are the scheduler's telemetry hooks. Nil instruments
+// (registry never attached) record nothing at zero cost.
+type simInstruments struct {
+	eventsFired  *obs.Counter
+	procsSpawned *obs.Counter
+	virtualTime  *obs.Gauge
+}
+
+// SetRegistry registers the scheduler's instruments in r and starts
+// recording into them. A nil registry detaches (instrumentation becomes
+// no-op again).
+func (s *Sim) SetRegistry(r *obs.Registry) {
+	s.m = simInstruments{
+		eventsFired:  r.Counter("memcontention_engine_events_fired_total", "Scheduler events fired.", nil),
+		procsSpawned: r.Counter("memcontention_engine_procs_spawned_total", "Simulated processes spawned.", nil),
+		virtualTime:  r.Gauge("memcontention_engine_virtual_time_seconds", "Current simulated time.", nil),
+	}
 }
 
 // NewSim returns an empty simulation at time zero.
@@ -134,6 +158,7 @@ func (p *Proc) Sim() *Sim { return p.sim }
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
 	s.procs = append(s.procs, p)
+	s.m.procsSpawned.Inc()
 	s.At(s.now, func() {
 		go func() {
 			defer func() {
@@ -220,6 +245,8 @@ func (s *Sim) Run() error {
 			return fmt.Errorf("engine: event time went backwards (%.9f < %.9f)", e.time, s.now)
 		}
 		s.now = e.time
+		s.m.eventsFired.Inc()
+		s.m.virtualTime.Set(s.now)
 		e.fire()
 		if s.failure != nil {
 			return s.failure

@@ -7,11 +7,13 @@ package eval
 
 import (
 	"fmt"
+	"math"
 
 	"memcontention/internal/bench"
 	"memcontention/internal/calib"
 	"memcontention/internal/export"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/stats"
 	"memcontention/internal/topology"
 )
@@ -57,7 +59,9 @@ func EvaluatePlatform(cfg bench.Config) (*PlatformResult, error) {
 	return EvaluateRunner(runner)
 }
 
-// EvaluateRunner is EvaluatePlatform for a pre-built runner.
+// EvaluateRunner is EvaluatePlatform for a pre-built runner. The runner's
+// telemetry registry, when configured, receives evaluation instruments
+// (per-platform MAPE gauges, per-configuration absolute-error histograms).
 func EvaluateRunner(runner *bench.Runner) (*PlatformResult, error) {
 	plat := runner.Config().Platform
 	m, err := calib.CalibrateRunner(runner)
@@ -80,7 +84,34 @@ func EvaluateRunner(runner *bench.Runner) (*PlatformResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: %s: %w", plat.Name, err)
 	}
+	recordEvaluation(runner.Registry(), res)
 	return res, nil
+}
+
+// recordEvaluation publishes one platform evaluation: a completion
+// counter, the Table II MAPE numbers as labelled gauges, and one
+// absolute-error histogram per placement configuration and stream kind.
+// A nil registry records nothing.
+func recordEvaluation(reg *obs.Registry, res *PlatformResult) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("memcontention_eval_platforms_total", "Platform evaluations completed.", nil).Inc()
+	placements := reg.Counter("memcontention_eval_placements_total", "Placement configurations evaluated.", nil)
+	platLabels := obs.L{"platform": res.Platform}
+	reg.Gauge("memcontention_eval_comm_mape_percent", "Communication MAPE over all placements (Table II).", platLabels).Set(res.Errors.CommAll)
+	reg.Gauge("memcontention_eval_comp_mape_percent", "Computation MAPE over all placements (Table II).", platLabels).Set(res.Errors.CompAll)
+	errBuckets := obs.ExponentialBuckets(1e-3, 4, 12)
+	for _, pr := range res.Placements {
+		placements.Inc()
+		labels := obs.L{"platform": res.Platform, "placement": pr.Placement.String()}
+		commErr := reg.Histogram("memcontention_eval_comm_abs_error_gbps", "Absolute communication prediction errors per configuration.", errBuckets, labels)
+		compErr := reg.Histogram("memcontention_eval_comp_abs_error_gbps", "Absolute computation prediction errors per configuration.", errBuckets, labels)
+		for i, pt := range pr.Measured.Points {
+			commErr.Observe(math.Abs(pt.CommPar - pr.Predicted[i].Comm))
+			compErr.Observe(math.Abs(pt.CompPar - pr.Predicted[i].Comp))
+		}
+	}
 }
 
 func evaluatePlacement(m model.Model, curve *bench.Curve) (*PlacementResult, error) {

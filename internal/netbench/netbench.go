@@ -12,6 +12,7 @@ import (
 	"memcontention/internal/engine"
 	"memcontention/internal/memsys"
 	"memcontention/internal/mpi"
+	"memcontention/internal/obs"
 	"memcontention/internal/simnet"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
@@ -36,6 +37,9 @@ type Config struct {
 	Iterations int
 	// Sizes to sweep. Default: 1 KiB .. 64 MiB, powers of four.
 	Sizes []units.ByteSize
+	// Registry, when set, receives sweep telemetry and the per-size
+	// simulations' engine instruments. Nil disables instrumentation.
+	Registry *obs.Registry
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -67,11 +71,17 @@ func PingPong(cfg Config) ([]Point, error) {
 		return nil, err
 	}
 	points := make([]Point, 0, len(cfg.Sizes))
+	sweeps := cfg.Registry.Counter("memcontention_netbench_points_total", "Ping-pong sweep points measured.", nil)
+	bw := cfg.Registry.Histogram("memcontention_netbench_bandwidth_gbps", "Ping-pong bandwidths over the size sweep.", obs.BandwidthBuckets(), nil)
+	rtt := cfg.Registry.Histogram("memcontention_netbench_half_rtt_seconds", "One-way ping-pong times over the size sweep.", obs.DurationBuckets(), nil)
 	for _, size := range cfg.Sizes {
 		pt, err := pingPongOne(cfg, size)
 		if err != nil {
 			return nil, fmt.Errorf("netbench: size %s: %w", size, err)
 		}
+		sweeps.Inc()
+		bw.Observe(pt.Bandwidth)
+		rtt.Observe(pt.HalfRTT)
 		points = append(points, pt)
 	}
 	return points, nil
@@ -81,6 +91,7 @@ func PingPong(cfg Config) ([]Point, error) {
 // fresh simulation per size keeps measurements independent).
 func pingPongOne(cfg Config, size units.ByteSize) (Point, error) {
 	sim := engine.NewSim()
+	sim.SetRegistry(cfg.Registry)
 	wire := simnet.WireRateFor(cfg.Platform.NIC.Tech, cfg.Platform.NIC.PCIeGen)
 	fabric, err := simnet.NewFabric(sim, wire, 1.5e-6)
 	if err != nil {
@@ -95,6 +106,7 @@ func pingPongOne(cfg Config, size units.ByteSize) (Point, error) {
 		if err := fabric.Attach(m); err != nil {
 			return Point{}, err
 		}
+		m.Flows.SetRegistry(cfg.Registry)
 		machines = append(machines, m)
 	}
 	world, err := mpi.NewWorld(sim, fabric, machines, 1)

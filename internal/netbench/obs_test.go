@@ -1,0 +1,30 @@
+package netbench
+
+import (
+	"testing"
+
+	"memcontention/internal/obs"
+	"memcontention/internal/topology"
+)
+
+func TestPingPongInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	pts, err := PingPong(Config{Platform: topology.Henri(), Node: 0, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("memcontention_netbench_points_total", "", nil).Value(); got != float64(len(pts)) {
+		t.Errorf("points counter = %v, want %d", got, len(pts))
+	}
+	if got := reg.Histogram("memcontention_netbench_bandwidth_gbps", "", nil, nil).Count(); got != uint64(len(pts)) {
+		t.Errorf("bandwidth observations = %d, want %d", got, len(pts))
+	}
+	if got := reg.Histogram("memcontention_netbench_half_rtt_seconds", "", nil, nil).Count(); got != uint64(len(pts)) {
+		t.Errorf("half-RTT observations = %d, want %d", got, len(pts))
+	}
+	// The per-size simulations share the registry, so engine flow
+	// counters accumulate across the whole sweep.
+	if got := reg.Counter("memcontention_engine_flows_started_total", "", nil).Value(); got == 0 {
+		t.Error("no engine flows recorded across the sweep")
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSONLWriter is anything that can stream itself as JSON Lines — in this
+// repo, trace.Recorder. The indirection keeps obs dependency-free.
+type JSONLWriter interface {
+	WriteJSONL(w io.Writer) error
+}
+
+// CLI bundles the telemetry command-line flags shared by every cmd:
+//
+//	-metrics <file>    write a Prometheus text exposition snapshot at exit
+//	-trace <file>      write the simulation event trace as JSON Lines
+//	-manifest <file>   write a run manifest (JSON) including all instruments
+//	-pprof <addr>      serve net/http/pprof on addr for the process lifetime
+//
+// Register the flags, call Start after flag parsing, and Finish on the way
+// out. Commands without an event trace simply don't register -trace.
+type CLI struct {
+	MetricsPath  string
+	TracePath    string
+	ManifestPath string
+	PprofAddr    string
+}
+
+// Register adds the telemetry flags to fs. withTrace controls whether the
+// -trace flag exists (only commands that run the discrete-event simulator
+// produce traces).
+func (c *CLI) Register(fs *flag.FlagSet, withTrace bool) {
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write metrics in Prometheus text format to this file at exit")
+	if withTrace {
+		fs.StringVar(&c.TracePath, "trace", "", "write the simulation event trace as JSON Lines to this file")
+	}
+	fs.StringVar(&c.ManifestPath, "manifest", "", "write a run manifest (JSON, includes instrument snapshot) to this file")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// WantsRegistry reports whether any output needs a live registry.
+func (c *CLI) WantsRegistry() bool {
+	return c.MetricsPath != "" || c.ManifestPath != ""
+}
+
+// WantsTrace reports whether the command should record an event trace.
+func (c *CLI) WantsTrace() bool { return c.TracePath != "" }
+
+// NewRegistry returns a fresh registry when one is wanted, else nil —
+// callers thread the result through unconditionally and instrumentation
+// stays no-op when telemetry is off.
+func (c *CLI) NewRegistry() *Registry {
+	if !c.WantsRegistry() {
+		return nil
+	}
+	return NewRegistry()
+}
+
+// Start brings up the pprof server when requested, logging the bound
+// address to stderr.
+func (c *CLI) Start() error {
+	if c.PprofAddr == "" {
+		return nil
+	}
+	addr, err := StartPprofServer(c.PprofAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", addr)
+	return nil
+}
+
+// writeFile creates path and streams fn into it.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Finish writes the requested artifacts: metrics from reg, the trace from
+// tr (may be nil when no simulation ran), and the manifest with the final
+// instrument snapshot attached.
+func (c *CLI) Finish(reg *Registry, tr JSONLWriter, man *Manifest) error {
+	if c.MetricsPath != "" {
+		if err := writeFile(c.MetricsPath, reg.WritePrometheus); err != nil {
+			return fmt.Errorf("writing -metrics: %w", err)
+		}
+	}
+	if c.TracePath != "" {
+		if tr == nil {
+			return fmt.Errorf("writing -trace: no event trace was recorded")
+		}
+		if err := writeFile(c.TracePath, tr.WriteJSONL); err != nil {
+			return fmt.Errorf("writing -trace: %w", err)
+		}
+	}
+	if c.ManifestPath != "" {
+		if man == nil {
+			man = NewManifest("unknown")
+		}
+		man.AttachRegistry(reg)
+		if err := writeFile(c.ManifestPath, man.WriteJSON); err != nil {
+			return fmt.Errorf("writing -manifest: %w", err)
+		}
+	}
+	return nil
+}

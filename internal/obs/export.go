@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// Le is the inclusive upper bound ("le" as in Prometheus);
+	// math.Inf(1) marks the overflow bucket.
+	Le float64 `json:"le"`
+	// Count is the cumulative observation count up to Le.
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is the exported state of one series, the unit of both the JSON
+// exporter and the manifest's instrument dump.
+type Snapshot struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter/gauge value (unused for histograms).
+	Value float64 `json:"value"`
+	// Sum/Count/Buckets are histogram-only.
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// MarshalJSON renders the kind-appropriate fields only, keeping the JSON
+// schema stable: counters and gauges carry "value", histograms carry
+// "sum"/"count"/"buckets" (always present, even when zero).
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	if s.Kind == "histogram" {
+		return json.Marshal(struct {
+			Name    string            `json:"name"`
+			Kind    string            `json:"kind"`
+			Help    string            `json:"help,omitempty"`
+			Labels  map[string]string `json:"labels,omitempty"`
+			Sum     float64           `json:"sum"`
+			Count   uint64            `json:"count"`
+			Buckets []Bucket          `json:"buckets"`
+		}{s.Name, s.Kind, s.Help, s.Labels, s.Sum, s.Count, s.Buckets})
+	}
+	return json.Marshal(struct {
+		Name   string            `json:"name"`
+		Kind   string            `json:"kind"`
+		Help   string            `json:"help,omitempty"`
+		Labels map[string]string `json:"labels,omitempty"`
+		Value  float64           `json:"value"`
+	}{s.Name, s.Kind, s.Help, s.Labels, s.Value})
+}
+
+// MarshalJSON renders +Inf as the string "+Inf" (JSON has no infinity).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "\"+Inf\""
+	if !math.IsInf(b.Le, 1) {
+		le = formatFloat(b.Le)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// Snapshot captures every registered series in canonical (name, labels)
+// order. A nil registry yields an empty slice.
+func (r *Registry) Snapshot() []Snapshot {
+	metrics := r.sortedMetrics()
+	out := make([]Snapshot, 0, len(metrics))
+	for _, m := range metrics {
+		s := Snapshot{Name: m.name, Kind: m.kind.String(), Help: m.help}
+		if len(m.labels) > 0 {
+			s.Labels = map[string]string(m.labels)
+		}
+		switch m.kind {
+		case kindCounter:
+			s.Value = m.counter.Value()
+		case kindGauge:
+			s.Value = m.gauge.Value()
+		case kindHistogram:
+			bounds, cumulative, sum, count := m.histogram.snapshot()
+			s.Sum, s.Count = sum, count
+			s.Buckets = make([]Bucket, 0, len(cumulative))
+			for i, c := range cumulative {
+				le := math.Inf(1)
+				if i < len(bounds) {
+					le = bounds[i]
+				}
+				s.Buckets = append(s.Buckets, Bucket{Le: le, Count: c})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, deterministic.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines for label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promLabels renders {k="v",...} with sorted keys plus optional extra
+// pairs (used for the histogram "le" label).
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, escapeLabel(labels[k])))
+	}
+	if extraKey != "" {
+		parts = append(parts, fmt.Sprintf("%s=%q", extraKey, escapeLabel(extraVal)))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE block per metric family, series
+// sorted by name then label signature, deterministic float formatting. A
+// nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var lastFamily string
+	for _, s := range r.Snapshot() {
+		if s.Name != lastFamily {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastFamily = s.Name
+		}
+		switch s.Kind {
+		case "histogram":
+			for _, b := range s.Buckets {
+				le := formatFloat(b.Le)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, "le", le), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatFloat(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry snapshot as indented, stable JSON (series
+// in canonical order, sorted label keys). A nil registry writes an empty
+// metrics list.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []Snapshot `json:"metrics"`
+	}{Metrics: r.Snapshot()}
+	if doc.Metrics == nil {
+		doc.Metrics = []Snapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

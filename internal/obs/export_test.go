@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the fixed registry of the exporter-stability
+// tests: one counter, one gauge, one histogram, as the naming convention
+// prescribes.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("memcontention_engine_flows_started_total", "Transfers started by the flow manager.", nil).Add(42)
+	r.Gauge("memcontention_engine_virtual_time_seconds", "Current simulated time.", nil).Set(0.001953125)
+	h := r.Histogram("memcontention_engine_flow_avg_rate_gbps",
+		"Average bandwidth of finished flows.", []float64{1, 8, 64}, L{"platform": "henri"})
+	for _, v := range []float64{0.5, 6, 6, 12.1, 90} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.prom", buf.Bytes())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "registry.json", buf.Bytes())
+}
+
+// TestExportDeterminism renders the same registry many times; map
+// iteration order must never leak into the output.
+func TestExportDeterminism(t *testing.T) {
+	var first []byte
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, first, buf.Bytes())
+		}
+	}
+}
+
+// TestPrometheusParseable walks the exposition text with a minimal parser:
+// every non-comment line must be `name{labels} value` with a float value,
+// and histogram series must end with a _count equal to the +Inf bucket.
+func TestPrometheusParseable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ParseExposition(buf.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if stats.Samples == 0 || len(stats.Families) != 3 {
+		t.Errorf("parsed %d samples, %d families; want >0 and 3", stats.Samples, len(stats.Families))
+	}
+	want := map[string]string{
+		"memcontention_engine_flows_started_total":  "counter",
+		"memcontention_engine_virtual_time_seconds": "gauge",
+		"memcontention_engine_flow_avg_rate_gbps":   "histogram",
+	}
+	for name, typ := range want {
+		if stats.Families[name] != typ {
+			t.Errorf("family %s = %q, want %q", name, stats.Families[name], typ)
+		}
+	}
+}

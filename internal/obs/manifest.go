@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Manifest describes one tool run well enough to reproduce it: which
+// binary, built from which revision, on which simulated platform, with
+// which seed and kernel, plus a final snapshot of every instrument. It is
+// deliberately free of wall-clock timestamps so that two identical runs
+// emit byte-identical manifests.
+type Manifest struct {
+	Tool     string `json:"tool"`
+	Version  string `json:"version"`
+	Go       string `json:"go"`
+	Platform string `json:"platform,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	// Args are the command-line arguments after the program name.
+	Args []string `json:"args,omitempty"`
+	// Notes carries tool-specific key/value context (message size,
+	// placement, output paths...).
+	Notes map[string]string `json:"notes,omitempty"`
+	// Instruments is the registry snapshot at exit.
+	Instruments []Snapshot `json:"instruments,omitempty"`
+}
+
+// NewManifest starts a manifest for the named tool, stamped with the
+// binary's version control revision (git-describe style when available)
+// and Go toolchain version.
+func NewManifest(tool string) *Manifest {
+	return &Manifest{Tool: tool, Version: BuildVersion(), Go: runtime.Version()}
+}
+
+// AttachRegistry snapshots reg into the manifest (nil-safe on both sides).
+func (m *Manifest) AttachRegistry(reg *Registry) *Manifest {
+	if m == nil {
+		return nil
+	}
+	m.Instruments = reg.Snapshot()
+	return m
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// BuildVersion reports a git-describe-style version for the running
+// binary: the module version when released, else the VCS revision
+// (shortened, "+dirty" when the tree was modified), else "devel".
+func BuildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}

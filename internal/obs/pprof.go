@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
+)
+
+// StartPprofServer serves net/http/pprof on addr (e.g. "localhost:6060")
+// for the remainder of the process lifetime and returns the bound address
+// (useful with ":0"). Profiling long evaluation sweeps is the intended
+// use; the server is never started unless explicitly requested.
+func StartPprofServer(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen on %s: %w", addr, err)
+	}
+	go func() {
+		// The error is ignored: the listener lives until process exit.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExpositionStats summarises a parsed Prometheus text document — enough
+// for tests and tooling to assert an export is well-formed without
+// depending on a Prometheus client library.
+type ExpositionStats struct {
+	// Families maps metric family name to declared type.
+	Families map[string]string
+	// Samples counts the value lines.
+	Samples int
+}
+
+// ParseExposition validates s as Prometheus text exposition format
+// (comments, `name{labels} value` samples, histograms with consistent
+// _bucket/_sum/_count series) and reports summary statistics. It errors
+// on the first malformed line.
+func ParseExposition(s string) (*ExpositionStats, error) {
+	stats := &ExpositionStats{Families: make(map[string]string)}
+	bucketCounts := make(map[string]uint64) // series (sans le) -> +Inf cumulative count
+	countValues := make(map[string]uint64)  // series -> _count value
+	for lineNo, line := range strings.Split(s, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# TYPE ") {
+				fields := strings.Fields(line) // "#", "TYPE", name, type
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo+1, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					stats.Families[fields[2]] = fields[3]
+				default:
+					return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo+1, fields[3])
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		stats.Samples++
+		if !nameRe.MatchString(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo+1, name)
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			key := strings.TrimSuffix(name, "_bucket") + "{" + stripLe(labels) + "}"
+			bucketCounts[key] = uint64(value) // last bucket is +Inf, cumulative max
+		case strings.HasSuffix(name, "_count"):
+			key := strings.TrimSuffix(name, "_count") + "{" + labels + "}"
+			countValues[key] = uint64(value)
+		}
+	}
+	for key, n := range countValues {
+		if inf, ok := bucketCounts[key]; ok && inf != n {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", key, inf, n)
+		}
+	}
+	return stats, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+		name, rest = fields[0], strings.TrimSpace(fields[1])
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// stripLe removes the le="..." pair from a label string.
+func stripLe(labels string) string {
+	var kept []string
+	for _, part := range strings.Split(labels, ",") {
+		if !strings.HasPrefix(part, `le="`) {
+			kept = append(kept, part)
+		}
+	}
+	return strings.Join(kept, ",")
+}

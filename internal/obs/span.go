@@ -1,0 +1,81 @@
+package obs
+
+import "time"
+
+// Timing is the result of a finished Span: how long the phase took on the
+// wall clock and in simulated (virtual) time.
+type Timing struct {
+	Name string `json:"name"`
+	// Wall is the elapsed wall-clock time in seconds.
+	Wall float64 `json:"wall_seconds"`
+	// Virtual is the elapsed simulated time in seconds (0 when the span
+	// has no virtual clock).
+	Virtual float64 `json:"virtual_seconds"`
+}
+
+// Span measures one phase of work (a calibration, a placement sweep, a
+// simulation run). Spans track wall time always and virtual time when
+// given a simulated clock; End reports both. A nil Span is inert, so
+// span-based accounting follows the same zero-cost-when-off contract as
+// the instruments.
+//
+// Wall-clock durations are nondeterministic; they are only folded into a
+// registry when the caller explicitly routes them there with ObserveWall,
+// keeping metric exports byte-reproducible by default.
+type Span struct {
+	name      string
+	wallStart time.Time
+	virtClock func() float64
+	virtStart float64
+	wallHist  *Histogram
+	virtHist  *Histogram
+}
+
+// StartSpan begins a wall-clock span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, wallStart: time.Now()}
+}
+
+// WithVirtualClock attaches a simulated clock (e.g. engine.Sim.Now) read
+// at call time and again at End.
+func (s *Span) WithVirtualClock(clock func() float64) *Span {
+	if s == nil || clock == nil {
+		return s
+	}
+	s.virtClock = clock
+	s.virtStart = clock()
+	return s
+}
+
+// ObserveVirtual routes the span's virtual duration into h at End.
+func (s *Span) ObserveVirtual(h *Histogram) *Span {
+	if s != nil {
+		s.virtHist = h
+	}
+	return s
+}
+
+// ObserveWall routes the span's wall duration into h at End. Note this
+// makes the registry's content timing-dependent; don't combine it with
+// byte-reproducible exports.
+func (s *Span) ObserveWall(h *Histogram) *Span {
+	if s != nil {
+		s.wallHist = h
+	}
+	return s
+}
+
+// End stops the span, feeds the attached histograms, and reports the
+// timing. Ending a nil span returns a zero Timing.
+func (s *Span) End() Timing {
+	if s == nil {
+		return Timing{}
+	}
+	t := Timing{Name: s.name, Wall: time.Since(s.wallStart).Seconds()}
+	if s.virtClock != nil {
+		t.Virtual = s.virtClock() - s.virtStart
+	}
+	s.wallHist.Observe(t.Wall)
+	s.virtHist.Observe(t.Virtual)
+	return t
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the machine-readable schema of one timeline event: one
+// JSON object per line, fields present only when meaningful for the kind
+// (see docs/observability.md for the schema table). Pointer fields keep
+// zero values (flow 0, node 0, rate 0) distinguishable from absence, so
+// the encoding is unambiguous and byte-stable across runs.
+type jsonlEvent struct {
+	Kind   string   `json:"kind"`
+	At     float64  `json:"at"`
+	Flow   *int     `json:"flow,omitempty"`
+	Stream string   `json:"stream,omitempty"`
+	Node   *int     `json:"node,omitempty"`
+	Bytes  *float64 `json:"bytes,omitempty"`
+	Rate   *float64 `json:"rate,omitempty"`
+	Active *int     `json:"active,omitempty"`
+	Label  string   `json:"label,omitempty"`
+}
+
+// WriteJSONL streams the timeline as JSON Lines, one event per line in
+// recording (simulated-time) order. The output is deterministic: two runs
+// with the same seed produce byte-identical traces, so traces can be
+// diffed across runs. Line count equals EventCount.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.events {
+		ev := &r.events[i]
+		je := jsonlEvent{Kind: ev.Kind.String(), At: ev.At}
+		switch ev.Kind {
+		case FlowStart:
+			flow, node, bytes := ev.FlowID, int(ev.Stream.Node), ev.Bytes
+			je.Flow, je.Node, je.Bytes = &flow, &node, &bytes
+			je.Stream = ev.Stream.Kind.String()
+		case FlowEnd:
+			flow, rate := ev.FlowID, ev.AvgRate
+			je.Flow, je.Rate = &flow, &rate
+		case RateChange:
+			active := ev.ActiveFlows
+			je.Active = &active
+		case Mark:
+			je.Label = ev.Label
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -75,9 +75,10 @@ type flowRecord struct {
 	avgRate  float64
 }
 
-// Recorder collects events. The zero value is unusable; use NewRecorder.
-// Recorders are not safe for concurrent use — the engine is cooperative,
-// so this is never needed.
+// Recorder collects events. The zero value is an empty, usable recorder
+// (storage is allocated lazily), so a Mark or a render before any flow
+// starts is always safe. Recorders are not safe for concurrent use — the
+// engine is cooperative, so this is never needed.
 type Recorder struct {
 	events []Event
 	flows  map[int]*flowRecord
@@ -91,8 +92,17 @@ func NewRecorder() *Recorder {
 	return &Recorder{flows: make(map[int]*flowRecord)}
 }
 
+// ensureFlows lazily allocates the flow map, keeping the zero-value
+// Recorder usable.
+func (r *Recorder) ensureFlows() {
+	if r.flows == nil {
+		r.flows = make(map[int]*flowRecord)
+	}
+}
+
 // FlowStarted implements engine.FlowObserver.
 func (r *Recorder) FlowStarted(id int, stream memsys.Stream, bytes, at float64) {
+	r.ensureFlows()
 	r.flows[id] = &flowRecord{stream: stream, bytes: bytes, start: at}
 	r.events = append(r.events, Event{At: at, Kind: FlowStart, FlowID: id, Stream: stream, Bytes: bytes})
 }
@@ -121,6 +131,9 @@ func (r *Recorder) MarkAt(at float64, label string) {
 // Events returns the recorded timeline in insertion order (which is
 // simulated-time order, the engine being deterministic).
 func (r *Recorder) Events() []Event { return r.events }
+
+// EventCount reports the number of recorded events.
+func (r *Recorder) EventCount() int { return len(r.events) }
 
 // Summary aggregates the recording per stream kind.
 type Summary struct {
@@ -190,6 +203,9 @@ func (r *Recorder) Summarize(kind memsys.StreamKind) Summary {
 // Timeline renders the recording as aligned text, one line per event,
 // limited to the first max events (0 = all).
 func (r *Recorder) Timeline(max int) string {
+	if len(r.events) == 0 {
+		return "(no events)\n"
+	}
 	var b strings.Builder
 	events := r.events
 	if max > 0 && len(events) > max {

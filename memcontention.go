@@ -36,7 +36,9 @@ import (
 	"memcontention/internal/kernels"
 	"memcontention/internal/memsys"
 	"memcontention/internal/model"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
+	"memcontention/internal/trace"
 )
 
 // Re-exported types: the stable public surface over the internal packages.
@@ -71,6 +73,15 @@ type (
 	Kernel = kernels.Kernel
 	// Table is a renderable result table.
 	Table = export.Table
+	// Registry collects telemetry instruments (counters, gauges,
+	// histograms) and exports them as Prometheus text or JSON.
+	Registry = obs.Registry
+	// TraceRecorder records flow lifecycle events for timeline rendering
+	// and JSONL export; install it with Cluster.WithObserver.
+	TraceRecorder = trace.Recorder
+	// RunManifest describes a run (tool, version, platform, seed,
+	// instruments) for reproducibility records.
+	RunManifest = obs.Manifest
 )
 
 // PlatformBuilder assembles custom symmetric platforms.
@@ -123,6 +134,13 @@ func KernelByName(name string) (Kernel, error) {
 
 // NewBenchRunner builds a benchmark runner for a configuration.
 func NewBenchRunner(cfg BenchConfig) (*BenchRunner, error) { return bench.NewRunner(cfg) }
+
+// NewRegistry creates an empty telemetry registry. Pass it to
+// BenchConfig.Registry or Cluster.WithRegistry to collect metrics.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTraceRecorder creates a flow-event recorder for Cluster.WithObserver.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
 // Calibrate runs the two sample benchmarks on a built-in platform and
 // returns the calibrated model (§IV-A2 pipeline).

@@ -253,6 +253,25 @@ func TestE9Determinism(t *testing.T) {
 	}
 }
 
+// TestReproductionGate is the pre-merge reproduction gate (`make check`
+// runs `go test -run TestReproduction ./...`): the full testbed
+// evaluation must complete for all six Table I platforms and land inside
+// the paper's headline error bounds. It reuses the shared testbed
+// evaluation, so the gate adds no runtime over the targeted TestE* cases.
+func TestReproductionGate(t *testing.T) {
+	if len(testbedResults) != 6 {
+		t.Fatalf("expected 6 evaluated platforms, got %d", len(testbedResults))
+	}
+	for _, r := range testbedResults {
+		if len(r.Placements) == 0 {
+			t.Errorf("%s: no placements evaluated", r.Platform)
+		}
+		if r.Errors.Average <= 0 || r.Errors.Average > 10 {
+			t.Errorf("%s: implausible average model error %.2f%%", r.Platform, r.Errors.Average)
+		}
+	}
+}
+
 func relDiff(a, b float64) float64 {
 	if a == 0 && b == 0 {
 		return 0
