@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race repro bench fmt
+.PHONY: check vet build test race repro bench fuzz fmt
 
 check: vet build race repro ## pre-merge gate: vet + build + race tests + reproduction
 
@@ -20,6 +20,16 @@ race:
 
 repro:
 	$(GO) test -run TestReproduction ./...
+
+# fuzz gives every fuzz target a short smoke run (the regression corpora
+# under testdata/fuzz run on every plain `go test` regardless).
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -fuzz '^FuzzParseByteSize$$' -fuzztime $(FUZZTIME) ./internal/units/
+	$(GO) test -fuzz '^FuzzParseBandwidth$$' -fuzztime $(FUZZTIME) ./internal/units/
+	$(GO) test -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/faults/
+	$(GO) test -fuzz '^FuzzLoadPlatformFile$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz '^FuzzLoadProfileFile$$' -fuzztime $(FUZZTIME) .
 
 # bench refreshes the benchmark log used to track instrumentation
 # overhead (compare against BENCH_baseline.json).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memcontention/internal/engine"
+	"memcontention/internal/faults"
 	"memcontention/internal/hwloc"
 	"memcontention/internal/kernels"
 	"memcontention/internal/mpi"
@@ -32,7 +33,43 @@ type (
 	Bandwidth = units.Bandwidth
 	// CPUSet is a set of cores.
 	CPUSet = hwloc.CPUSet
+	// FaultPlan is a declarative, seeded fault scenario for a cluster
+	// (see docs/resilience.md for the JSON schema).
+	FaultPlan = faults.Plan
+	// FaultEvent is one timed fault of a FaultPlan.
+	FaultEvent = faults.Event
+	// Resilience configures MPI timeouts and retry/backoff.
+	Resilience = mpi.Resilience
+	// MPIOpError is a structured MPI failure (rank, operation,
+	// simulated time, cause); extract it with errors.As.
+	MPIOpError = mpi.OpError
+	// DeadlockError reports a deadlocked simulation with each stuck
+	// process's wait reason and time; extract it with errors.As.
+	DeadlockError = engine.DeadlockError
+	// BudgetError reports a watchdog trip (simulated-time or
+	// event-count budget exceeded); extract it with errors.As.
+	BudgetError = engine.BudgetError
+	// WaitState is one blocked process's diagnosis.
+	WaitState = engine.WaitState
+	// NodeDownError reports an operation that touched a crashed machine;
+	// extract it with errors.As.
+	NodeDownError = simnet.DownError
 )
+
+// Sentinel causes carried by MPIOpError; test with errors.Is.
+var (
+	// ErrMPITimeout marks an operation that exceeded Resilience.OpTimeout.
+	ErrMPITimeout = mpi.ErrTimeout
+	// ErrMessageDropped marks a message lost by fault injection after all
+	// retries were spent.
+	ErrMessageDropped = simnet.ErrMessageDropped
+)
+
+// LoadFaultPlan reads and validates a fault plan file (JSON).
+func LoadFaultPlan(path string) (*FaultPlan, error) { return faults.Load(path) }
+
+// ParseFaultPlan decodes and validates a fault plan from JSON bytes.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return faults.Parse(data) }
 
 // ParseByteSize parses sizes such as "64MiB" or "1GiB".
 func ParseByteSize(s string) (ByteSize, error) { return units.ParseByteSize(s) }
@@ -60,6 +97,9 @@ type Cluster struct {
 	fabric   *simnet.Fabric
 	machines []*simnet.Machine
 	reg      *obs.Registry
+	observer engine.FlowObserver
+	plan     *faults.Plan
+	res      mpi.Resilience
 	ran      bool
 }
 
@@ -122,9 +162,39 @@ func (c *Cluster) Registry() *obs.Registry { return c.reg }
 // WithObserver installs a flow observer (for example a trace.Recorder)
 // on every machine's flow manager. It returns the cluster for chaining.
 func (c *Cluster) WithObserver(o engine.FlowObserver) *Cluster {
+	c.observer = o
 	for _, m := range c.machines {
 		m.Flows.SetObserver(o)
 	}
+	return c
+}
+
+// WithFaults arms a fault plan on the cluster: the plan's timed events
+// are injected during Run, deterministically (same seed + same plan =
+// bit-identical runs). A nil plan — the default — installs no hooks and
+// costs nothing on the hot path. Fault metrics land in the registry
+// attached with WithRegistry, and fault events in the trace recorder
+// attached with WithObserver. It returns the cluster for chaining.
+func (c *Cluster) WithFaults(plan *FaultPlan) *Cluster {
+	c.plan = plan
+	return c
+}
+
+// WithResilience installs the MPI resilience policy (per-operation
+// timeouts, drop retry with exponential backoff). The zero value — the
+// default — keeps the historical semantics: no timeouts, no retries.
+// It returns the cluster for chaining.
+func (c *Cluster) WithResilience(r Resilience) *Cluster {
+	c.res = r
+	return c
+}
+
+// WithWatchdog arms the cluster watchdog: Run fails with a *BudgetError
+// carrying a per-rank wait-state diagnosis as soon as the job exceeds
+// maxSimSeconds of simulated time or maxEvents scheduler events (zero
+// disables either budget). It returns the cluster for chaining.
+func (c *Cluster) WithWatchdog(maxSimSeconds float64, maxEvents int64) *Cluster {
+	c.sim.SetBudget(maxSimSeconds, maxEvents)
 	return c
 }
 
@@ -145,6 +215,19 @@ func (c *Cluster) Run(ranksPerMachine int, main func(*RankCtx)) (simSeconds floa
 	world, err := mpi.NewWorld(c.sim, c.fabric, c.machines, ranksPerMachine)
 	if err != nil {
 		return 0, err
+	}
+	if err := world.SetResilience(c.res); err != nil {
+		return 0, err
+	}
+	if c.plan != nil {
+		inj, err := faults.New(c.plan)
+		if err != nil {
+			return 0, err
+		}
+		marker, _ := c.observer.(faults.Marker)
+		if err := inj.Arm(c.sim, c.fabric, c.machines, c.reg, marker); err != nil {
+			return 0, err
+		}
 	}
 	world.Launch(main)
 	runErr := c.sim.Run()

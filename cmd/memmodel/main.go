@@ -14,6 +14,11 @@
 //	memmodel -platform henri -trace t.jsonl       # DES cross-check trace
 //	memmodel -platform henri -manifest run.json   # reproducibility manifest
 //	memmodel -platform henri -pprof localhost:6060
+//
+// Robustness (see docs/resilience.md):
+//
+//	memmodel -platform henri -faults plan.json    # cross-check under faults
+//	memmodel -platform henri -robust              # calibration noise sweep
 package main
 
 import (
@@ -39,17 +44,20 @@ func main() {
 	n := flag.Int("n", 0, "predict for this number of computing cores")
 	comp := flag.Int("comp", 0, "computation data NUMA node for -n")
 	comm := flag.Int("comm", 0, "communication data NUMA node for -n")
+	faults := flag.String("faults", "", "fault plan JSON file: run the DES cross-check under this plan")
+	robust := flag.Bool("robust", false, "print how calibration errors degrade with benchmark noise")
+	robustTrials := flag.Int("robust-trials", 5, "noise realizations per amplitude for -robust")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, true)
 	flag.Parse()
 
-	if err := run(*platform, *seed, *jsonOut, *predict, *n, *comp, *comm, &cli); err != nil {
+	if err := run(*platform, *seed, *jsonOut, *predict, *n, *comp, *comm, *faults, *robust, *robustTrials, &cli); err != nil {
 		fmt.Fprintln(os.Stderr, "memmodel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int, cli *obs.CLI) error {
+func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int, faultsPath string, robust bool, robustTrials int, cli *obs.CLI) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
@@ -103,15 +111,54 @@ func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int,
 		return err
 	}
 
+	if robust {
+		// A fresh runner so the sweep is reproducible for the seed alone,
+		// independent of how much measurement the calibration consumed.
+		rrunner, rerr := bench.NewRunner(bench.Config{Platform: plat, Seed: seed, Registry: reg})
+		if rerr != nil {
+			return rerr
+		}
+		rep, rerr := calib.Robustness(rrunner, calib.RobustnessOptions{Trials: robustTrials, Seed: seed})
+		if rerr != nil {
+			return rerr
+		}
+		t := export.NewTable(
+			fmt.Sprintf("%s — calibration robustness (Table II MAPE vs input noise, %d trials)", platform, robustTrials),
+			"noise", "comm MAPE %", "comp MAPE %", "average %", "fit failures")
+		row := func(label string, pt calib.RobustnessPoint) {
+			t.AddRow(label,
+				fmt.Sprintf("%.2f", pt.CommMAPE),
+				fmt.Sprintf("%.2f", pt.CompMAPE),
+				fmt.Sprintf("%.2f", pt.Average),
+				fmt.Sprint(pt.FitFailures))
+		}
+		row("clean", rep.Baseline)
+		for _, pt := range rep.Points {
+			row(fmt.Sprintf("±%g%%", pt.NoiseRel*100), pt)
+		}
+		if err := t.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	var plan *memcontention.FaultPlan
+	if faultsPath != "" {
+		if plan, err = memcontention.LoadFaultPlan(faultsPath); err != nil {
+			return err
+		}
+	}
+
 	// The DES cross-check replays the paper's motivating overlap scenario
 	// on the simulated cluster; it feeds the event trace and the engine's
-	// instruments. Only run it when some telemetry output wants the data.
+	// instruments. Only run it when some telemetry output wants the data
+	// or a fault plan asks to stress it.
 	var rec *trace.Recorder
-	if cli.WantsTrace() || reg != nil {
+	if cli.WantsTrace() || reg != nil || plan != nil {
 		if cli.WantsTrace() {
 			rec = trace.NewRecorder()
 		}
-		if err := crossCheck(platform, plat, reg, rec); err != nil {
+		if err := crossCheck(platform, plat, reg, rec, plan); err != nil {
 			return err
 		}
 	}
@@ -126,8 +173,11 @@ func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int,
 
 // crossCheck runs a two-machine overlap job (rank 0 computes while a
 // large message streams in, rank 1 sends) under the discrete-event
-// simulator, recording flow events and engine metrics.
-func crossCheck(platform string, plat *topology.Platform, reg *obs.Registry, rec *trace.Recorder) error {
+// simulator, recording flow events and engine metrics. With a fault
+// plan the job runs under injection, guarded by MPI timeouts, drop
+// retries and a watchdog, and the outcome is reported instead of
+// failing the command — a failing run is the plan working as intended.
+func crossCheck(platform string, plat *topology.Platform, reg *obs.Registry, rec *trace.Recorder, plan *memcontention.FaultPlan) error {
 	cluster, err := memcontention.NewCluster(platform, 2)
 	if err != nil {
 		return err
@@ -136,13 +186,18 @@ func crossCheck(platform string, plat *topology.Platform, reg *obs.Registry, rec
 	if rec != nil {
 		cluster.WithObserver(rec)
 	}
+	if plan != nil {
+		cluster.WithFaults(plan).
+			WithResilience(memcontention.Resilience{OpTimeout: 5, MaxRetries: 4}).
+			WithWatchdog(300, 10_000_000)
+	}
 	const tag = 7
 	msg := 64 * memcontention.MiB
 	cores := plat.CoresPerSocket() / 2
 	if cores < 1 {
 		cores = 1
 	}
-	_, err = cluster.Run(1, func(ctx *memcontention.RankCtx) {
+	secs, err := cluster.Run(1, func(ctx *memcontention.RankCtx) {
 		switch ctx.Rank() {
 		case 0:
 			topo := ctx.Machine().Topo
@@ -173,5 +228,15 @@ func crossCheck(platform string, plat *topology.Platform, reg *obs.Registry, rec
 			}
 		}
 	})
-	return err
+	if plan == nil {
+		return err
+	}
+	if err != nil {
+		fmt.Printf("cross-check under fault plan (seed %d, %d events): failed: %v\n",
+			plan.Seed, len(plan.Events), err)
+	} else {
+		fmt.Printf("cross-check under fault plan (seed %d, %d events): completed in %.6f simulated seconds\n",
+			plan.Seed, len(plan.Events), secs)
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package memcontention
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -117,5 +118,73 @@ func TestSaveRejectsInvalid(t *testing.T) {
 	plat.Cores[0].Socket = 9
 	if err := SavePlatformFile(filepath.Join(dir, "p.json"), plat); err == nil {
 		t.Error("invalid platform saved")
+	}
+}
+
+// readDir lists the directory entries (helper for the atomicity tests).
+func readDir(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteJSONFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	// A successful write leaves exactly the target file, no temp debris.
+	if err := writeJSONFile(path, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if names := readDir(t, dir); len(names) != 1 || names[0] != "out.json" {
+		t.Fatalf("directory after write: %v, want only out.json", names)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A marshal failure (NaN is not valid JSON) must leave the existing
+	// file byte-identical and clean up after itself.
+	if err := writeJSONFile(path, map[string]float64{"bad": math.NaN()}); err == nil {
+		t.Fatal("NaN marshalled successfully")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(first) {
+		t.Error("failed write modified the existing file")
+	}
+	if names := readDir(t, dir); len(names) != 1 {
+		t.Errorf("failed write left debris: %v", names)
+	}
+
+	// Overwrites replace the content completely.
+	if err := writeJSONFile(path, map[string]int{"b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(second) == string(first) {
+		t.Error("overwrite kept the old content")
+	}
+	if names := readDir(t, dir); len(names) != 1 {
+		t.Errorf("overwrite left debris: %v", names)
+	}
+
+	// An unwritable directory fails without leaving temp files anywhere
+	// visible.
+	if err := writeJSONFile(filepath.Join(dir, "missing", "x.json"), 1); err == nil {
+		t.Error("write into a missing directory succeeded")
 	}
 }

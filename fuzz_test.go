@@ -1,0 +1,83 @@
+package memcontention
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzFile writes data to a fresh file and returns its path.
+func fuzzFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "input.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func FuzzLoadPlatformFile(f *testing.F) {
+	if plat, err := PlatformByName("henri"); err == nil {
+		if data, err := json.Marshal(plat); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte("{not json"))
+	f.Add([]byte(`{"Name":"x","Sockets":[{"ID":0,"Nodes":[0]}],"Nodes":[{"ID":0,"Socket":0,"MemoryGB":-1}],"Cores":[{"ID":0,"Socket":0,"Node":0}]}`))
+	f.Add([]byte(`{"Name":"x","Nodes":[{"ID":0,"Socket":9,"MemoryGB":16}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plat, err := LoadPlatformFile(fuzzFile(t, data))
+		if err != nil {
+			return
+		}
+		// A load that succeeds must yield a platform the rest of the
+		// code can trust: validated, self-consistent indices.
+		if err := plat.Validate(); err != nil {
+			t.Fatalf("loaded platform fails Validate: %v", err)
+		}
+		if plat.NCores() <= 0 || plat.NNodes() <= 0 {
+			t.Fatalf("loaded platform has no cores or nodes")
+		}
+		for _, c := range plat.Cores {
+			if int(c.Node) >= plat.NNodes() || int(c.Socket) >= len(plat.Sockets) {
+				t.Fatalf("core %d references out-of-range node/socket", c.ID)
+			}
+		}
+	})
+}
+
+func FuzzLoadProfileFile(f *testing.F) {
+	plat, err := PlatformByName("henri")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if prof, err := ProfileFor("henri"); err == nil {
+		if data, err := json.Marshal(prof); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte("[1,2,3]"))
+	f.Add([]byte(`{"PerCoreLocal":-5}`))
+	f.Add([]byte(`{"PerCoreLocal":1e308,"PerCoreRemote":1e308}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prof, err := LoadProfileFile(fuzzFile(t, data), plat)
+		if err != nil {
+			return
+		}
+		// Accepted profiles must be usable by the simulator: positive,
+		// finite demands and one nominal bandwidth per NUMA node.
+		for _, v := range []float64{prof.PerCoreLocal, prof.PerCoreRemote, prof.LinkCap, prof.PCIeCap} {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("loaded profile has non-positive or non-finite parameter %v", v)
+			}
+		}
+		if len(prof.CommNominal) != plat.NNodes() {
+			t.Fatalf("loaded profile has %d nominal bandwidths for %d nodes",
+				len(prof.CommNominal), plat.NNodes())
+		}
+	})
+}

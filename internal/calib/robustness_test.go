@@ -1,0 +1,112 @@
+package calib
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"memcontention/internal/bench"
+	"memcontention/internal/rng"
+	"memcontention/internal/topology"
+)
+
+func TestPerturbCurve(t *testing.T) {
+	clean := syntheticCurve(refParams(), 18)
+	noisy := PerturbCurve(clean, 0.05, rng.New(1, "test"))
+	if len(noisy.Points) != len(clean.Points) {
+		t.Fatalf("point count changed: %d != %d", len(noisy.Points), len(clean.Points))
+	}
+	changed := false
+	for i, pt := range noisy.Points {
+		c := clean.Points[i]
+		if pt.N != c.N {
+			t.Fatalf("point %d: n changed", i)
+		}
+		for _, pair := range [][2]float64{
+			{pt.CompAlone, c.CompAlone}, {pt.CommAlone, c.CommAlone},
+			{pt.CompPar, c.CompPar}, {pt.CommPar, c.CommPar},
+		} {
+			rel := math.Abs(pair[0]-pair[1]) / pair[1]
+			if rel > 4*0.05+1e-12 {
+				t.Fatalf("point %d: noise %v exceeds the 4*rel clamp", i, rel)
+			}
+			if pair[0] != pair[1] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("perturbation changed nothing")
+	}
+	// Zero amplitude is the identity.
+	same := PerturbCurve(clean, 0, rng.New(1, "test"))
+	if !reflect.DeepEqual(same.Points, clean.Points) {
+		t.Fatal("rel=0 must not modify the curve")
+	}
+	// The input must be untouched.
+	if !reflect.DeepEqual(clean, syntheticCurve(refParams(), 18)) {
+		t.Fatal("PerturbCurve modified its input")
+	}
+}
+
+func TestRobustnessSweep(t *testing.T) {
+	runner, err := bench.NewRunner(bench.Config{Platform: topology.Henri(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := RobustnessOptions{Amplitudes: []float64{0.01, 0.10}, Trials: 3, Seed: 7}
+	rep, err := Robustness(runner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Platform != "henri" {
+		t.Errorf("platform = %q", rep.Platform)
+	}
+	if rep.Baseline.CommMAPE <= 0 || rep.Baseline.CompMAPE <= 0 {
+		t.Errorf("baseline MAPE not positive: %+v", rep.Baseline)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(rep.Points))
+	}
+	for i, pt := range rep.Points {
+		if pt.NoiseRel != opts.Amplitudes[i] {
+			t.Errorf("point %d: amplitude %v, want %v", i, pt.NoiseRel, opts.Amplitudes[i])
+		}
+		if pt.Trials != 3 {
+			t.Errorf("point %d: trials %d", i, pt.Trials)
+		}
+		if pt.FitFailures < 3 && pt.Average <= 0 {
+			t.Errorf("point %d: no average despite %d fits", i, 3-pt.FitFailures)
+		}
+	}
+	// More noise must not improve the fit (averaged over trials).
+	if rep.Points[1].FitFailures < 3 && rep.Points[1].Average < rep.Baseline.Average {
+		t.Errorf("10%% noise average %.3f beat the clean baseline %.3f",
+			rep.Points[1].Average, rep.Baseline.Average)
+	}
+
+	// Same seed + options on a fresh runner reproduces the sweep exactly.
+	runner2, err := bench.NewRunner(bench.Config{Platform: topology.Henri(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Robustness(runner2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, rep2) {
+		t.Fatal("robustness sweep is not deterministic")
+	}
+}
+
+func TestRobustnessRejectsBadAmplitude(t *testing.T) {
+	runner, err := bench.NewRunner(bench.Config{Platform: topology.Henri(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 1.0, math.NaN(), math.Inf(1)} {
+		if _, err := Robustness(runner, RobustnessOptions{Amplitudes: []float64{bad}}); err == nil {
+			t.Errorf("amplitude %v accepted", bad)
+		}
+	}
+}

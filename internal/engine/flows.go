@@ -33,12 +33,39 @@ type Flows struct {
 	pending *Timer
 	// observer, when set, is notified of flow lifecycle events.
 	observer FlowObserver
+	// limiter, when set, caps each stream's solved rate (fault
+	// injection: NIC stalls, core slowdowns). Nil costs nothing.
+	limiter RateLimiter
 	// m holds the optional instruments; nil instruments record nothing.
 	m flowInstruments
 }
 
 // SetObserver installs a flow observer (nil removes it).
 func (f *Flows) SetObserver(o FlowObserver) { f.observer = o }
+
+// RateLimiter rescales a stream's solved rate: it receives the stream and
+// the solver-granted rate (GB/s) and returns the rate actually applied
+// (0 freezes the stream). It must be deterministic in (stream, rate, sim
+// time) for the simulation to stay reproducible.
+type RateLimiter func(st memsys.Stream, rate float64) float64
+
+// SetRateLimiter installs a rate limiter (nil removes it, restoring the
+// solver-granted rates). Installing or changing a limiter only takes
+// effect at the next re-solve; call Refresh to apply it mid-flight.
+func (f *Flows) SetRateLimiter(l RateLimiter) { f.limiter = l }
+
+// Refresh integrates all active flows to the current time and re-solves
+// their rates. Fault injection calls it when conditions change mid-flight
+// (a stall begins or ends, a slowdown toggles) so progress before the
+// change is banked at the old rates and the remainder runs at the new
+// ones. With no active flows it is a no-op.
+func (f *Flows) Refresh() {
+	if len(f.active) == 0 {
+		return
+	}
+	f.integrate()
+	f.resolve()
+}
 
 // flowInstruments are the flow manager's telemetry hooks.
 type flowInstruments struct {
@@ -128,6 +155,9 @@ func (f *Flows) TransferAndWait(p *Proc, st memsys.Stream, size units.ByteSize) 
 // Wait parks the calling process until the transfer completes.
 func (h *Handle) Wait(p *Proc) {
 	for !h.fl.finished {
+		if p.waitReason == "" && p.waitLazy == nil {
+			p.SetWaitReason("transfer-wait")
+		}
 		h.fl.done.Wait(p)
 	}
 }
@@ -215,6 +245,12 @@ func (f *Flows) resolve() {
 	for _, id := range ids {
 		fl := f.active[id]
 		fl.rate = alloc.Rate(id)
+		if f.limiter != nil {
+			fl.rate = f.limiter(fl.stream, fl.rate)
+			if fl.rate < 0 || math.IsNaN(fl.rate) {
+				fl.rate = 0
+			}
+		}
 		if fl.rate > 0 {
 			eta := now + fl.remaining/(fl.rate*units.BytesPerGB)
 			if eta < nextAt {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"memcontention/internal/obs"
 )
@@ -74,6 +75,11 @@ type Sim struct {
 	yield   chan struct{}
 	running bool
 	failure error
+	// fired counts events executed, for the event-count budget.
+	fired int64
+	// budgets; zero values disable the watchdog entirely.
+	maxSimTime float64
+	maxEvents  int64
 	// m holds the optional instruments; the zero value (nil pointers)
 	// makes every recording call a no-op.
 	m simInstruments
@@ -145,10 +151,37 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	parked bool
+	// waitReason/waitSince describe why the process is blocked, for
+	// deadlock and watchdog diagnosis. The reason is set by the park
+	// site (or defaults to "parked") and cleared on resume. waitLazy,
+	// when set, takes precedence and is rendered only at diagnosis
+	// time, keeping Sprintf costs off the happy path.
+	waitReason string
+	waitLazy   fmt.Stringer
+	waitSince  float64
 }
 
 // Name reports the process name given to Spawn.
 func (p *Proc) Name() string { return p.name }
+
+// SetWaitReason records why the process is about to block. Park sites that
+// know more than the engine (an MPI receive, a barrier) call it right
+// before parking; the reason is cleared when the process resumes.
+func (p *Proc) SetWaitReason(reason string) {
+	p.waitReason = reason
+	p.waitLazy = nil
+	p.waitSince = p.sim.now
+}
+
+// SetWaitStringer is SetWaitReason for park sites whose description is
+// expensive to render (an MPI operation name): s.String() is called only
+// if the process ends up in a deadlock or watchdog diagnosis. Storing an
+// existing pointer in the interface does not allocate.
+func (p *Proc) SetWaitStringer(s fmt.Stringer) {
+	p.waitReason = ""
+	p.waitLazy = s
+	p.waitSince = p.sim.now
+}
 
 // Sim returns the owning simulation.
 func (p *Proc) Sim() *Sim { return p.sim }
@@ -178,10 +211,16 @@ func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 // park suspends the calling process and returns control to the scheduler.
 // The process resumes when some event sends on p.resume.
 func (p *Proc) park() {
+	if p.waitReason == "" && p.waitLazy == nil {
+		p.waitReason = "parked"
+		p.waitSince = p.sim.now
+	}
 	p.parked = true
 	p.sim.yield <- struct{}{}
 	<-p.resume
 	p.parked = false
+	p.waitReason = ""
+	p.waitLazy = nil
 }
 
 // wake resumes a parked process from scheduler context and waits for it to
@@ -196,6 +235,7 @@ func (s *Sim) wake(p *Proc) {
 func (p *Proc) Sleep(d float64) {
 	s := p.sim
 	s.After(d, func() { s.wake(p) })
+	p.SetWaitReason("sleep")
 	p.park()
 }
 
@@ -226,9 +266,118 @@ func (sg *Signal) Fire() {
 	}
 }
 
+// WaitState describes one blocked process: its name, why it parked (as
+// reported by the park site) and the simulated time at which it did.
+type WaitState struct {
+	Proc   string  `json:"proc"`
+	Reason string  `json:"reason"`
+	Since  float64 `json:"since"`
+}
+
+func (w WaitState) String() string {
+	return fmt.Sprintf("%s [%s, since t=%.6fs]", w.Proc, w.Reason, w.Since)
+}
+
+// formatStuck renders wait states for error messages, name-sorted.
+func formatStuck(stuck []WaitState) string {
+	parts := make([]string, len(stuck))
+	for i, w := range stuck {
+		parts[i] = w.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// DeadlockError reports a simulation that ran out of events while
+// processes were still blocked, with each process's wait diagnosis.
+type DeadlockError struct {
+	// At is the simulated time at which the event queue drained.
+	At float64
+	// Stuck lists every unfinished process, sorted by name.
+	Stuck []WaitState
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("engine: deadlock at t=%.6fs, %d process(es) still waiting: %s",
+		e.At, len(e.Stuck), formatStuck(e.Stuck))
+}
+
+// BudgetError reports a watchdog trip: the simulation exceeded its
+// simulated-time or event-count budget before completing.
+type BudgetError struct {
+	// Kind is "sim-time" or "event-count".
+	Kind string
+	// Limit is the exceeded budget (seconds or events).
+	Limit float64
+	// At is the simulated time when the watchdog fired.
+	At float64
+	// Events is the number of events fired so far.
+	Events int64
+	// Stuck lists every unfinished process, sorted by name.
+	Stuck []WaitState
+}
+
+func (e *BudgetError) Error() string {
+	var what string
+	switch e.Kind {
+	case "sim-time":
+		what = fmt.Sprintf("simulated-time budget %.6fs exceeded", e.Limit)
+	default:
+		what = fmt.Sprintf("event budget %d exceeded", int64(e.Limit))
+	}
+	msg := fmt.Sprintf("engine: watchdog: %s at t=%.6fs after %d events", what, e.At, e.Events)
+	if len(e.Stuck) > 0 {
+		msg += fmt.Sprintf("; %d process(es) unfinished: %s", len(e.Stuck), formatStuck(e.Stuck))
+	}
+	return msg
+}
+
+// SetBudget arms the watchdog: Run fails with a BudgetError as soon as
+// simulated time would pass maxSimTime seconds or more than maxEvents
+// events have fired. A zero (or negative) value disables that budget;
+// SetBudget(0, 0) disarms the watchdog completely (the default).
+func (s *Sim) SetBudget(maxSimTime float64, maxEvents int64) {
+	if maxSimTime < 0 || math.IsNaN(maxSimTime) {
+		maxSimTime = 0
+	}
+	if maxEvents < 0 {
+		maxEvents = 0
+	}
+	s.maxSimTime = maxSimTime
+	s.maxEvents = maxEvents
+}
+
+// EventsFired reports the number of events executed so far.
+func (s *Sim) EventsFired() int64 { return s.fired }
+
+// waitStates lists every unfinished process's wait state, name-sorted.
+func (s *Sim) waitStates() []WaitState {
+	var stuck []WaitState
+	for _, p := range s.procs {
+		if p.done {
+			continue
+		}
+		reason := p.waitReason
+		if p.waitLazy != nil {
+			reason = p.waitLazy.String()
+		}
+		if reason == "" {
+			reason = "not yet scheduled"
+		}
+		stuck = append(stuck, WaitState{Proc: p.name, Reason: reason, Since: p.waitSince})
+	}
+	sort.Slice(stuck, func(i, j int) bool {
+		if stuck[i].Proc != stuck[j].Proc {
+			return stuck[i].Proc < stuck[j].Proc
+		}
+		return stuck[i].Since < stuck[j].Since
+	})
+	return stuck
+}
+
 // Run executes the simulation until no events remain. It returns an error
-// if a process panicked or if processes remain parked with no pending
-// event that could wake them (deadlock).
+// if a process panicked, if processes remain parked with no pending event
+// that could wake them (*DeadlockError), or if an armed watchdog budget is
+// exceeded (*BudgetError).
 func (s *Sim) Run() error {
 	if s.running {
 		return fmt.Errorf("engine: Run called re-entrantly")
@@ -244,7 +393,14 @@ func (s *Sim) Run() error {
 		if e.time < s.now {
 			return fmt.Errorf("engine: event time went backwards (%.9f < %.9f)", e.time, s.now)
 		}
+		if s.maxSimTime > 0 && e.time > s.maxSimTime {
+			return &BudgetError{Kind: "sim-time", Limit: s.maxSimTime, At: s.now, Events: s.fired, Stuck: s.waitStates()}
+		}
+		if s.maxEvents > 0 && s.fired >= s.maxEvents {
+			return &BudgetError{Kind: "event-count", Limit: float64(s.maxEvents), At: s.now, Events: s.fired, Stuck: s.waitStates()}
+		}
 		s.now = e.time
+		s.fired++
 		s.m.eventsFired.Inc()
 		s.m.virtualTime.Set(s.now)
 		e.fire()
@@ -252,15 +408,8 @@ func (s *Sim) Run() error {
 			return s.failure
 		}
 	}
-	var stuck []string
-	for _, p := range s.procs {
-		if !p.done {
-			stuck = append(stuck, p.name)
-		}
-	}
-	if len(stuck) > 0 {
-		sort.Strings(stuck)
-		return fmt.Errorf("engine: deadlock, %d process(es) still waiting: %v", len(stuck), stuck)
+	if stuck := s.waitStates(); len(stuck) > 0 {
+		return &DeadlockError{At: s.now, Stuck: stuck}
 	}
 	return nil
 }

@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func validPlanJSON() []byte {
+	return []byte(`{
+  "seed": 42,
+  "events": [
+    {"at": 0.010, "kind": "link-degrade", "factor": 0.25, "duration": 0.05},
+    {"at": 0.005, "kind": "link-latency", "extra_latency": 2e-6, "jitter": 0.1, "duration": 0.02},
+    {"at": 0.001, "kind": "nic-stall", "machine": 1, "duration": 0.002},
+    {"at": 0.000, "kind": "core-slowdown", "machine": 0, "factor": 0.5, "duration": 0.1},
+    {"at": 0.020, "kind": "node-crash", "machine": 1},
+    {"at": 0.002, "kind": "msg-drop", "probability": 0.3, "duration": 0.01},
+    {"at": 0.003, "kind": "msg-delay", "extra_latency": 1e-4, "probability": 0.5, "duration": 0.01}
+  ]
+}`)
+}
+
+func TestParseValidPlan(t *testing.T) {
+	plan, err := Parse(validPlanJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 42 {
+		t.Errorf("seed = %d", plan.Seed)
+	}
+	if len(plan.Events) != 7 {
+		t.Fatalf("got %d events", len(plan.Events))
+	}
+	if got := plan.MaxMachine(); got != 1 {
+		t.Errorf("MaxMachine = %d, want 1", got)
+	}
+	sorted := plan.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].At < sorted[i-1].At {
+			t.Fatalf("Sorted not ordered at %d", i)
+		}
+	}
+	// The original order must be preserved in the plan itself.
+	if plan.Events[0].Kind != LinkDegrade {
+		t.Error("Sorted modified the plan's event order")
+	}
+}
+
+func TestEventLabels(t *testing.T) {
+	plan, err := Parse(validPlanJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range plan.Events {
+		l := ev.Label()
+		if !strings.Contains(l, string(ev.Kind)) {
+			t.Errorf("label %q does not name kind %s", l, ev.Kind)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := map[string]Event{
+		"negative at":           {At: -1, Kind: MsgDrop, Probability: 0.5},
+		"nan at":                {At: math.NaN(), Kind: MsgDrop, Probability: 0.5},
+		"unknown kind":          {At: 0, Kind: "gremlins"},
+		"empty kind":            {At: 0},
+		"degrade factor 0":      {At: 0, Kind: LinkDegrade, Factor: 0},
+		"degrade factor > 1":    {At: 0, Kind: LinkDegrade, Factor: 1.5},
+		"degrade factor nan":    {At: 0, Kind: LinkDegrade, Factor: math.NaN()},
+		"slowdown factor inf":   {At: 0, Kind: CoreSlowdown, Factor: math.Inf(1)},
+		"latency without extra": {At: 0, Kind: LinkLatency},
+		"negative extra":        {At: 0, Kind: LinkLatency, Extra: -1e-6},
+		"jitter > 1":            {At: 0, Kind: LinkLatency, Extra: 1e-6, Jitter: 2},
+		"probability > 1":       {At: 0, Kind: MsgDrop, Probability: 1.5},
+		"probability negative":  {At: 0, Kind: MsgDrop, Probability: -0.5},
+		"delay without extra":   {At: 0, Kind: MsgDelay, Probability: 0.5},
+		"crash with duration":   {At: 0, Kind: NodeCrash, Duration: 1},
+		"negative duration":     {At: 0, Kind: NICStall, Duration: -1},
+		"nan duration":          {At: 0, Kind: NICStall, Duration: math.NaN()},
+		"negative machine":      {At: 0, Kind: NICStall, Machine: -1, Duration: 1},
+	}
+	for name, ev := range cases {
+		plan := &Plan{Events: []Event{ev}}
+		if err := plan.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", name, ev)
+		}
+	}
+}
+
+func TestValidateNilPlan(t *testing.T) {
+	var plan *Plan
+	if err := plan.Validate(); err != nil {
+		t.Errorf("nil plan must validate: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "{not json", `{"events": [{}]}`, `[1,2]`} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/plan.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func FuzzParsePlan(f *testing.F) {
+	f.Add(validPlanJSON())
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"events":[{"at":1e999,"kind":"msg-drop"}]}`))
+	f.Add([]byte(`{"seed":1,"events":[{"at":0,"kind":"node-crash","machine":3}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Whatever Parse accepts must satisfy the validator (Parse is
+		// documented to validate) and be safe to schedule.
+		if err := plan.Validate(); err != nil {
+			t.Fatalf("parsed plan fails Validate: %v", err)
+		}
+		for _, ev := range plan.Events {
+			if math.IsNaN(ev.At) || ev.At < 0 || math.IsInf(ev.At, 0) {
+				t.Fatalf("accepted unschedulable event time %v", ev.At)
+			}
+		}
+	})
+}

@@ -77,6 +77,11 @@ func Flat(cap float64) Envelope { return Envelope{Plateau: cap} }
 
 // Validate checks envelope invariants.
 func (e Envelope) Validate() error {
+	for _, f := range [...]float64{e.Plateau, e.Slope1, e.Slope2, e.Knee1, e.Knee2, e.Soft} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("memsys: envelope has a non-finite parameter")
+		}
+	}
 	switch {
 	case e.Plateau <= 0:
 		return fmt.Errorf("memsys: envelope plateau %.2f must be positive", e.Plateau)

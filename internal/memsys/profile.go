@@ -3,6 +3,7 @@ package memsys
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"memcontention/internal/topology"
 )
@@ -109,6 +110,14 @@ type Profile struct {
 // Validate checks the profile against a platform.
 func (p *Profile) Validate(plat *topology.Platform) error {
 	var errs []error
+	for _, f := range [...]float64{p.PerCoreLocal, p.PerCoreRemote, p.CommFloorFrac,
+		p.LinkCap, p.PCIeCap, p.Quirks.EarlyCommRate, p.Quirks.SoftSaturationGB,
+		p.Quirks.CrossSocketCommFactor} {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			errs = append(errs, fmt.Errorf("profile has a non-finite parameter"))
+			break
+		}
+	}
 	if p.PerCoreLocal <= 0 || p.PerCoreRemote <= 0 {
 		errs = append(errs, fmt.Errorf("per-core demands must be positive (local=%.2f remote=%.2f)", p.PerCoreLocal, p.PerCoreRemote))
 	}
@@ -116,7 +125,7 @@ func (p *Profile) Validate(plat *topology.Platform) error {
 		errs = append(errs, fmt.Errorf("CommNominal has %d entries, platform %s has %d nodes", len(p.CommNominal), plat.Name, plat.NNodes()))
 	}
 	for i, b := range p.CommNominal {
-		if b <= 0 {
+		if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
 			errs = append(errs, fmt.Errorf("CommNominal[%d] must be positive, got %.2f", i, b))
 		}
 	}

@@ -62,6 +62,7 @@ func (c *Ctx) Split(color, key int) (*CommView, error) {
 
 	if len(round.entries) < w.Size() {
 		// Wait for the rest of the world.
+		c.proc.SetWaitReason("Split")
 		round.sig.Wait(c.proc)
 	} else {
 		// Last arriver computes the partition, closes the round, and
@@ -194,6 +195,7 @@ func (v *CommView) Barrier() error {
 		b.sig.Fire()
 		return nil
 	}
+	v.ctx.proc.SetWaitReason("Comm.Barrier")
 	b.sig.Wait(v.ctx.proc)
 	return nil
 }

@@ -10,6 +10,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 
 	"memcontention/internal/engine"
@@ -36,6 +37,8 @@ type World struct {
 	sim    *engine.Sim
 	fabric *simnet.Fabric
 	ranks  []*rankState
+	// res is the resilience policy (zero value: no timeouts/retries).
+	res Resilience
 	// barrier bookkeeping
 	barrierCount int
 	barrierSig   *engine.Signal
@@ -54,6 +57,17 @@ type rankState struct {
 	// Both are FIFO, as MPI matching requires.
 	posted     []*Request
 	unexpected []*envelope
+}
+
+// removePosted withdraws a receive request from the posted queue (used
+// when the request times out). Missing requests are ignored.
+func (rs *rankState) removePosted(req *Request) {
+	for i, r := range rs.posted {
+		if r == req {
+			rs.posted = append(rs.posted[:i], rs.posted[i+1:]...)
+			return
+		}
+	}
 }
 
 // envelope is a send seen from the receiving side.
@@ -87,15 +101,26 @@ type Request struct {
 	err      error
 	isRecv   bool
 	src, tag int
-	dstNode  topology.NodeID
-	size     units.ByteSize
+	// peer is the other side: dst for sends, src for receives (may be
+	// AnySource). Used for diagnostics only.
+	peer    int
+	dstNode topology.NodeID
+	size    units.ByteSize
+	// owner is the rank that posted the request (for receive-queue
+	// removal on timeout).
+	owner *rankState
 }
 
 // Test reports whether the request has completed.
 func (r *Request) Test() bool { return r.done }
 
-// complete marks the request done and wakes waiters.
+// complete marks the request done and wakes waiters. Completing an
+// already-completed request (a transfer landing after its timeout fired)
+// is a no-op: the first outcome wins.
 func (r *Request) complete(st Status, err error) {
+	if r.done {
+		return
+	}
 	r.done = true
 	r.status = st
 	r.err = err
@@ -169,7 +194,10 @@ func (c *Ctx) Isend(dst, tag int, size units.ByteSize, srcNode topology.NodeID, 
 	if size <= 0 {
 		return nil, fmt.Errorf("mpi: rank %d: Isend with non-positive size %d", c.Rank(), size)
 	}
-	req := &Request{world: c.world, sig: c.world.sim.NewSignal(), tag: tag, size: size}
+	if c.machineDown() {
+		return nil, c.downError(fmt.Sprintf("Send(dst=%d, tag=%d)", dst, tag))
+	}
+	req := &Request{world: c.world, sig: c.world.sim.NewSignal(), tag: tag, size: size, peer: dst}
 	env := &envelope{src: c.Rank(), tag: tag, size: size, srcNode: srcNode, payload: payload}
 	if size > EagerLimit {
 		env.sendReq = req
@@ -197,9 +225,13 @@ func (c *Ctx) Irecv(src, tag int, size units.ByteSize, dstNode topology.NodeID) 
 	if src != AnySource && (src < 0 || src >= c.world.Size()) {
 		return nil, fmt.Errorf("mpi: rank %d: Irecv from invalid rank %d", c.Rank(), src)
 	}
+	if c.machineDown() {
+		return nil, c.downError(fmt.Sprintf("Recv(src=%s, tag=%s)", rankName(src), tagName(tag)))
+	}
 	req := &Request{
 		world: c.world, sig: c.world.sim.NewSignal(),
-		isRecv: true, src: src, tag: tag, dstNode: dstNode, size: size,
+		isRecv: true, src: src, tag: tag, peer: src, dstNode: dstNode, size: size,
+		owner: c.rank,
 	}
 	// Try the unexpected queue first (FIFO matching).
 	for i, env := range c.rank.unexpected {
@@ -222,14 +254,53 @@ func (c *Ctx) Recv(src, tag int, size units.ByteSize, dstNode topology.NodeID) (
 	return c.Wait(req)
 }
 
-// Wait blocks until the request completes and returns its status.
+// machineDown reports whether the calling rank's own machine has been
+// crashed by fault injection — the simulated software on a dead node
+// cannot start new operations. Without a fault layer it costs one nil
+// check.
+func (c *Ctx) machineDown() bool {
+	down, _ := c.world.fabric.MachineDown(c.rank.machine.ID)
+	return down
+}
+
+// downError builds the structured failure for an operation attempted on
+// the caller's crashed machine. Callers render op only after machineDown
+// returns true, keeping string formatting off the healthy path.
+func (c *Ctx) downError(op string) error {
+	_, since := c.world.fabric.MachineDown(c.rank.machine.ID)
+	return c.world.opError(c.Rank(), op, &simnet.DownError{Machine: c.rank.machine.ID, Since: since})
+}
+
+// Wait blocks until the request completes and returns its status. When
+// the world's Resilience configures an OpTimeout, a request that stays
+// incomplete for that many simulated seconds fails with an OpError
+// wrapping ErrTimeout (a timed-out receive is withdrawn from the posted
+// queue, so a late sender cannot complete it afterwards).
 func (c *Ctx) Wait(req *Request) (Status, error) {
 	if req == nil {
 		return Status{}, fmt.Errorf("mpi: rank %d: Wait on nil request", c.Rank())
 	}
+	w := c.world
+	var watchdog *engine.Timer
+	if w.res.OpTimeout > 0 && !req.done {
+		rank := c.Rank()
+		watchdog = w.sim.After(w.res.OpTimeout, func() {
+			if req.done {
+				return
+			}
+			if req.isRecv && req.owner != nil {
+				req.owner.removePosted(req)
+			}
+			req.complete(Status{}, w.opError(rank, req.opName(), ErrTimeout))
+		})
+	}
 	for !req.done {
+		// Lazy: the operation name is only rendered if this wait ends up
+		// in a deadlock or watchdog diagnosis.
+		c.proc.SetWaitStringer(req)
 		req.sig.Wait(c.proc)
 	}
+	watchdog.Cancel()
 	return req.status, req.err
 }
 
@@ -270,7 +341,10 @@ func (w *World) deliverEnvelope(dst *rankState, env *envelope) {
 
 // startTransfer moves the message data. Intra-machine messages are local
 // memory copies (modelled as instantaneous at this granularity);
-// inter-machine messages go through the fabric.
+// inter-machine messages go through the fabric. Messages the fabric drops
+// are resent with exponential backoff, up to Resilience.MaxRetries times;
+// a final failure is reported to both sides as a structured OpError
+// naming their own rank and operation.
 func (w *World) startTransfer(dst *rankState, env *envelope, req *Request) {
 	srcMachine := w.ranks[env.src].machine
 	st := Status{Source: env.src, Tag: env.tag, Size: env.size, Payload: env.payload}
@@ -283,17 +357,46 @@ func (w *World) startTransfer(dst *rankState, env *envelope, req *Request) {
 		})
 		return
 	}
-	w.fabric.DeliverAsync(simnet.Transfer{
+	xfer := simnet.Transfer{
 		Src: srcMachine, Dst: dst.machine,
 		SrcNode: env.srcNode, DstNode: req.dstNode,
 		Size: env.size,
-	}, func(res simnet.Result, err error) {
-		st.AvgRate = res.AvgRate
-		req.complete(st, err)
-		if env.sendReq != nil {
-			env.sendReq.complete(Status{Source: env.src, Tag: env.tag, Size: env.size}, err)
+	}
+	finish := func(res simnet.Result, err error) {
+		recvErr, sendErr := err, err
+		if err != nil {
+			recvErr = w.opError(dst.id, fmt.Sprintf("Recv(src=%d, tag=%d)", env.src, env.tag), err)
+			sendErr = w.opError(env.src, fmt.Sprintf("Send(dst=%d, tag=%d)", dst.id, env.tag), err)
 		}
-	})
+		st.AvgRate = res.AvgRate
+		req.complete(st, recvErr)
+		if env.sendReq != nil {
+			env.sendReq.complete(Status{Source: env.src, Tag: env.tag, Size: env.size}, sendErr)
+		}
+	}
+	if w.res.MaxRetries == 0 {
+		// Fast path: no retry machinery to allocate.
+		w.fabric.DeliverAsync(xfer, finish)
+		return
+	}
+	attempt := 0
+	var send func()
+	send = func() {
+		// A receive that already failed (timeout) frees the channel:
+		// stop resending into it.
+		if req.done {
+			return
+		}
+		w.fabric.DeliverAsync(xfer, func(res simnet.Result, err error) {
+			if errors.Is(err, simnet.ErrMessageDropped) && attempt < w.res.MaxRetries {
+				attempt++
+				w.sim.After(w.res.backoff(attempt), send)
+				return
+			}
+			finish(res, err)
+		})
+	}
+	send()
 }
 
 // Barrier blocks until every rank has entered it.
@@ -307,6 +410,7 @@ func (c *Ctx) Barrier() {
 		sig.Fire()
 		return
 	}
+	c.proc.SetWaitReason("Barrier")
 	w.barrierSig.Wait(c.proc)
 }
 
@@ -315,6 +419,9 @@ func (c *Ctx) Barrier() {
 // bandwidth (weak scaling, as in the paper's benchmark).
 func (c *Ctx) Compute(a kernels.Assignment, perCoreBytes units.ByteSize) (units.Bandwidth, error) {
 	m := c.rank.machine
+	if c.machineDown() {
+		return 0, c.downError("Compute")
+	}
 	streams, err := a.Streams(m.Sys, 0)
 	if err != nil {
 		return 0, fmt.Errorf("mpi: rank %d: %w", c.Rank(), err)
@@ -328,6 +435,7 @@ func (c *Ctx) Compute(a kernels.Assignment, perCoreBytes units.ByteSize) (units.
 		}, perCoreBytes)
 	}
 	for _, h := range handles {
+		c.proc.SetWaitReason("Compute")
 		h.Wait(c.proc)
 	}
 	elapsed := c.Now() - start

@@ -13,6 +13,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -22,6 +23,46 @@ import (
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
 )
+
+// ErrMessageDropped reports a message lost in flight by fault injection.
+// The MPI layer retries dropped messages when resilience is configured.
+var ErrMessageDropped = errors.New("simnet: message dropped by fault injection")
+
+// DownError reports a transfer endpoint that has crashed.
+type DownError struct {
+	// Machine is the crashed machine's id.
+	Machine int
+	// Since is the simulated time of the crash.
+	Since float64
+}
+
+func (e *DownError) Error() string {
+	return fmt.Sprintf("simnet: machine %d is down (crashed at t=%.6fs)", e.Machine, e.Since)
+}
+
+// TransferFault is the fault layer's verdict on one message.
+type TransferFault struct {
+	// Drop loses the message: no data moves and the delivery callback
+	// reports ErrMessageDropped once the (faulty) latency has elapsed.
+	Drop bool
+	// ExtraLatency is added one-way latency in seconds (jitter included).
+	ExtraLatency float64
+	// WireFactor scales the link's wire rate for this message; 0 or 1
+	// mean nominal.
+	WireFactor float64
+}
+
+// FaultModel lets a fault injector perturb the fabric. Implementations
+// must be deterministic in their own seeded state and the arguments so
+// that a faulty simulation stays bit-for-bit reproducible.
+type FaultModel interface {
+	// MachineDown reports whether machine id is crashed at time at, and
+	// since when.
+	MachineDown(id int, at float64) (down bool, since float64)
+	// TransferFault is consulted once per message at injection time.
+	// xfer is the fabric's monotonically increasing transfer number.
+	TransferFault(src, dst, xfer int, size, at float64) TransferFault
+}
 
 // Machine is one cluster node: a platform, its memory system and the flow
 // manager simulating it.
@@ -56,6 +97,21 @@ type Fabric struct {
 
 	machines map[int]*Machine
 	nextXfer int
+	// faults, when set, perturbs deliveries. Nil costs one comparison
+	// per transfer.
+	faults FaultModel
+}
+
+// SetFaults installs a fault model on the fabric (nil removes it).
+func (f *Fabric) SetFaults(fm FaultModel) { f.faults = fm }
+
+// MachineDown reports whether the fault layer considers machine id crashed
+// at the current simulated time (always false without a fault model).
+func (f *Fabric) MachineDown(id int) (down bool, since float64) {
+	if f.faults == nil {
+		return false, 0
+	}
+	return f.faults.MachineDown(id, f.sim.Now())
 }
 
 // NewFabric creates a fabric. Rate must be positive; latency non-negative.
@@ -118,7 +174,9 @@ func (f *Fabric) Deliver(p *engine.Proc, t Transfer) (Result, error) {
 }
 
 // DeliverAsync performs a transfer and invokes done (in scheduler context)
-// on completion. Errors are reported through done.
+// on completion. Errors are reported through done: a crashed endpoint
+// yields a *DownError, a message lost by fault injection yields
+// ErrMessageDropped (after the latency, when the loss would be noticed).
 func (f *Fabric) DeliverAsync(t Transfer, done func(Result, error)) {
 	if err := f.check(t); err != nil {
 		f.sim.After(0, func() { done(Result{}, err) })
@@ -126,10 +184,31 @@ func (f *Fabric) DeliverAsync(t Transfer, done func(Result, error)) {
 	}
 	start := f.sim.Now()
 	f.nextXfer++
-	f.sim.After(f.Latency, func() {
+	latency, wireCap := f.Latency, f.WireRate
+	if f.faults != nil {
+		for _, m := range []*Machine{t.Src, t.Dst} {
+			if down, since := f.faults.MachineDown(m.ID, start); down {
+				derr := &DownError{Machine: m.ID, Since: since}
+				f.sim.After(0, func() { done(Result{Start: start}, derr) })
+				return
+			}
+		}
+		fault := f.faults.TransferFault(t.Src.ID, t.Dst.ID, f.nextXfer, float64(t.Size.Bytes()), start)
+		if fault.ExtraLatency > 0 {
+			latency += fault.ExtraLatency
+		}
+		if fault.WireFactor > 0 {
+			wireCap *= fault.WireFactor
+		}
+		if fault.Drop {
+			f.sim.After(latency, func() { done(Result{Start: start}, ErrMessageDropped) })
+			return
+		}
+	}
+	f.sim.After(latency, func() {
 		// The wire bounds both DMA paths; the memory systems may
 		// grant less.
-		wire := f.WireRate
+		wire := wireCap
 		remaining := 2
 		finish := func() {
 			remaining--

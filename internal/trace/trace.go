@@ -28,6 +28,9 @@ const (
 	RateChange
 	// Mark is a user annotation (phase boundaries etc.).
 	Mark
+	// Fault is a fault-injection event (link degraded, node crashed,
+	// message dropped, ...) recorded by the faults layer.
+	Fault
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +44,8 @@ func (k EventKind) String() string {
 		return "rate-change"
 	case Mark:
 		return "mark"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -126,6 +131,13 @@ func (r *Recorder) RatesResolved(at float64, rates map[int]float64) {
 // MarkAt adds a user annotation at the given simulated time.
 func (r *Recorder) MarkAt(at float64, label string) {
 	r.events = append(r.events, Event{At: at, Kind: Mark, Label: label})
+}
+
+// FaultAt records a fault-injection event at the given simulated time.
+// It implements the faults.Marker interface, so a Recorder attached to a
+// cluster also captures the fault timeline.
+func (r *Recorder) FaultAt(at float64, label string) {
+	r.events = append(r.events, Event{At: at, Kind: Fault, Label: label})
 }
 
 // Events returns the recorded timeline in insertion order (which is
@@ -220,7 +232,7 @@ func (r *Recorder) Timeline(max int) string {
 			fmt.Fprintf(&b, "  #%d at %.2f GB/s", ev.FlowID, ev.AvgRate)
 		case RateChange:
 			fmt.Fprintf(&b, "  %d active", ev.ActiveFlows)
-		case Mark:
+		case Mark, Fault:
 			fmt.Fprintf(&b, "  %s", ev.Label)
 		}
 		b.WriteByte('\n')

@@ -1,0 +1,43 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzParseByteSize(f *testing.F) {
+	for _, seed := range []string{
+		"64MiB", "1GiB", "0", "12 kb", " 7 B ", "-1", "NaN", "Inf",
+		"9223372036854775807GiB", "1e9", "", "gib", "  ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseByteSize(s)
+		if err != nil {
+			return
+		}
+		if v < 0 {
+			t.Fatalf("ParseByteSize(%q) = %d, negative", s, v)
+		}
+	})
+}
+
+func FuzzParseBandwidth(f *testing.F) {
+	for _, seed := range []string{
+		"12.5 GB/s", "100 MB/s", "0", "-3", "NaN", "nan GB/s", "+Inf",
+		"1e308 GB/s", "1e309", "", "GB/s", "0x1p10",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseBandwidth(s)
+		if err != nil {
+			return
+		}
+		g := float64(v)
+		if g < 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+			t.Fatalf("ParseBandwidth(%q) = %v, negative or non-finite", s, g)
+		}
+	})
+}

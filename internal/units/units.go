@@ -55,14 +55,12 @@ func (b Bandwidth) Within(other Bandwidth, tol float64) bool {
 func ParseBandwidth(s string) (Bandwidth, error) {
 	t := strings.TrimSpace(s)
 	scale := 1.0
-	lower := strings.ToLower(t)
 	switch {
-	case strings.HasSuffix(lower, "gb/s"):
-		t = strings.TrimSpace(t[:len(t)-4])
-	case strings.HasSuffix(lower, "mb/s"):
-		t = strings.TrimSpace(t[:len(t)-4])
+	case trimSuffixFold(&t, "gb/s"):
+	case trimSuffixFold(&t, "mb/s"):
 		scale = 1e-3
 	}
+	t = strings.TrimSpace(t)
 	v, err := strconv.ParseFloat(t, 64)
 	if err != nil {
 		return 0, fmt.Errorf("units: parse bandwidth %q: %w", s, err)
@@ -105,22 +103,29 @@ func (s ByteSize) String() string {
 // ParseByteSize parses "64MiB", "64 MiB", "1GiB", "512B", plain integers
 // (bytes), and the loose decimal forms "64MB"/"1GB" used casually by the
 // paper (interpreted as binary units, matching the reference benchmark).
+// trimSuffixFold strips an ASCII suffix case-insensitively, in place.
+// Byte-indexed (never through strings.ToLower, whose output can be longer
+// than its input on invalid UTF-8).
+func trimSuffixFold(t *string, suffix string) bool {
+	s := *t
+	if len(s) < len(suffix) || !strings.EqualFold(s[len(s)-len(suffix):], suffix) {
+		return false
+	}
+	*t = s[:len(s)-len(suffix)]
+	return true
+}
+
 func ParseByteSize(s string) (ByteSize, error) {
 	t := strings.TrimSpace(s)
-	lower := strings.ToLower(t)
 	mult := ByteSize(1)
 	switch {
-	case strings.HasSuffix(lower, "gib"), strings.HasSuffix(lower, "gb"):
+	case trimSuffixFold(&t, "gib"), trimSuffixFold(&t, "gb"):
 		mult = GiB
-		t = t[:strings.LastIndexByte(lower, 'g')]
-	case strings.HasSuffix(lower, "mib"), strings.HasSuffix(lower, "mb"):
+	case trimSuffixFold(&t, "mib"), trimSuffixFold(&t, "mb"):
 		mult = MiB
-		t = t[:strings.LastIndexByte(lower, 'm')]
-	case strings.HasSuffix(lower, "kib"), strings.HasSuffix(lower, "kb"):
+	case trimSuffixFold(&t, "kib"), trimSuffixFold(&t, "kb"):
 		mult = KiB
-		t = t[:strings.LastIndexByte(lower, 'k')]
-	case strings.HasSuffix(lower, "b"):
-		t = t[:len(t)-1]
+	case trimSuffixFold(&t, "b"):
 	}
 	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
 	if err != nil {
@@ -128,6 +133,9 @@ func ParseByteSize(s string) (ByteSize, error) {
 	}
 	if v < 0 {
 		return 0, fmt.Errorf("units: parse byte size %q: negative", s)
+	}
+	if mult > 1 && v > int64(math.MaxInt64)/int64(mult) {
+		return 0, fmt.Errorf("units: parse byte size %q: overflows", s)
 	}
 	return ByteSize(v) * mult, nil
 }
