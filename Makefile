@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race repro bench fuzz fmt
+.PHONY: check vet build test race repro bench fuzz soak fmt
 
 check: vet build race repro ## pre-merge gate: vet + build + race tests + reproduction
 
@@ -30,6 +30,14 @@ fuzz:
 	$(GO) test -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/faults/
 	$(GO) test -fuzz '^FuzzLoadPlatformFile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzLoadProfileFile$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
+
+# soak kills the Table II pipeline at seeded random points and resumes
+# it from the checkpoint journal, asserting byte-identical artifacts
+# (see docs/resilience.md).
+SOAK_ROUNDS ?= 6
+soak:
+	$(GO) run ./scripts/soak -rounds $(SOAK_ROUNDS)
 
 # bench refreshes the benchmark log used to track instrumentation
 # overhead (compare against BENCH_baseline.json).

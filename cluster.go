@@ -1,6 +1,7 @@
 package memcontention
 
 import (
+	"context"
 	"fmt"
 
 	"memcontention/internal/engine"
@@ -49,6 +50,10 @@ type (
 	// BudgetError reports a watchdog trip (simulated-time or
 	// event-count budget exceeded); extract it with errors.As.
 	BudgetError = engine.BudgetError
+	// CanceledError reports a run stopped cleanly by external
+	// cancellation (WithContext); it unwraps to the context cause, so
+	// errors.Is(err, context.Canceled) identifies a graceful shutdown.
+	CanceledError = engine.CanceledError
 	// WaitState is one blocked process's diagnosis.
 	WaitState = engine.WaitState
 	// NodeDownError reports an operation that touched a crashed machine;
@@ -186,6 +191,16 @@ func (c *Cluster) WithFaults(plan *FaultPlan) *Cluster {
 // It returns the cluster for chaining.
 func (c *Cluster) WithResilience(r Resilience) *Cluster {
 	c.res = r
+	return c
+}
+
+// WithContext installs an external cancellation source: Run returns a
+// *CanceledError as soon as ctx is done, checked between simulation
+// events so state stays consistent and partial telemetry can still be
+// flushed. A nil or background context — the default — keeps the event
+// loop entirely check-free. It returns the cluster for chaining.
+func (c *Cluster) WithContext(ctx context.Context) *Cluster {
+	c.sim.SetContext(ctx)
 	return c
 }
 

@@ -2,6 +2,7 @@ package memcontention
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -355,5 +356,25 @@ func TestNilPlanIsIdentity(t *testing.T) {
 	}
 	if jsonlBare != jsonlNil {
 		t.Error("nil plan changed the trace")
+	}
+}
+
+func TestWithContextCancelsRun(t *testing.T) {
+	c, err := NewCluster("henri", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.WithContext(ctx)
+	_, err = c.Run(1, func(r *RankCtx) {
+		r.Barrier()
+	})
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not unwrap to context.Canceled", err)
 	}
 }

@@ -9,15 +9,28 @@
 //	membench -platform henri -comp 0 -comm 1       # one placement
 //	membench -platform dahu -kernel copy -csv      # CSV output
 //	membench -platform pyxis -bidir                # ping-pong extension
+//
+// Robustness (see docs/resilience.md): with -checkpoint the campaign is
+// crash-safe — each completed placement curve is journaled durably, a
+// SIGINT/SIGTERM stops the run at a clean boundary (exit status 130), and
+// re-running with the same flags resumes where it died with bit-identical
+// results:
+//
+//	membench -platform dahu -checkpoint run.ckpt   # interruptible
+//	membench -platform dahu -checkpoint run.ckpt -resume
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memcontention"
 	"memcontention/internal/bench"
+	"memcontention/internal/campaign"
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/export"
 	"memcontention/internal/kernels"
 	"memcontention/internal/memsys"
@@ -27,97 +40,130 @@ import (
 	"memcontention/internal/units"
 )
 
+// options are membench's parsed command-line inputs.
+type options struct {
+	platform, platformFile, profileFile string
+	comp, comm                          int
+	kernelName, msgSize                 string
+	seed                                uint64
+	csvOut, bidir                       bool
+}
+
 func main() {
-	platform := flag.String("platform", "henri", "built-in platform name")
-	platformFile := flag.String("platformfile", "", "load the platform from a JSON file instead")
-	profileFile := flag.String("profilefile", "", "load the hardware profile from a JSON file (required with -platformfile for non-built-in machines)")
-	comp := flag.Int("comp", -1, "computation data NUMA node (-1: all placements)")
-	comm := flag.Int("comm", -1, "communication data NUMA node (-1: all placements)")
-	kernelName := flag.String("kernel", "nt-memset", "kernel: nt-memset, copy, triad, load")
-	msgSize := flag.String("msg", "64MiB", "message size")
-	seed := flag.Uint64("seed", 1, "measurement noise seed")
-	csvOut := flag.Bool("csv", false, "emit CSV instead of a text table")
-	bidir := flag.Bool("bidir", false, "bidirectional communications (ping-pong extension)")
+	var o options
+	flag.StringVar(&o.platform, "platform", "henri", "built-in platform name")
+	flag.StringVar(&o.platformFile, "platformfile", "", "load the platform from a JSON file instead")
+	flag.StringVar(&o.profileFile, "profilefile", "", "load the hardware profile from a JSON file (required with -platformfile for non-built-in machines)")
+	flag.IntVar(&o.comp, "comp", -1, "computation data NUMA node (-1: all placements)")
+	flag.IntVar(&o.comm, "comm", -1, "communication data NUMA node (-1: all placements)")
+	flag.StringVar(&o.kernelName, "kernel", "nt-memset", "kernel: nt-memset, copy, triad, load")
+	flag.StringVar(&o.msgSize, "msg", "64MiB", "message size")
+	flag.Uint64Var(&o.seed, "seed", 1, "measurement noise seed")
+	flag.BoolVar(&o.csvOut, "csv", false, "emit CSV instead of a text table")
+	flag.BoolVar(&o.bidir, "bidir", false, "bidirectional communications (ping-pong extension)")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, false)
+	var ckpt checkpoint.CLI
+	ckpt.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*platform, *platformFile, *profileFile, *comp, *comm, *kernelName, *msgSize, *seed, *csvOut, *bidir, &cli); err != nil {
-		fmt.Fprintln(os.Stderr, "membench:", err)
-		os.Exit(1)
+	ctx, stop := checkpoint.SignalContext()
+	err := run(ctx, os.Stdout, o, &ckpt, &cli)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "membench", err); code != 0 {
+		os.Exit(code)
 	}
 }
 
-func run(platform, platformFile, profileFile string, comp, comm int, kernelName, msgSize string, seed uint64, csvOut, bidir bool, cli *obs.CLI) error {
+// run opens the journal and executes the campaign; split from main so
+// tests can drive the full command logic with their own context, journal
+// and output sink.
+func run(ctx context.Context, w io.Writer, o options, ckpt *checkpoint.CLI, cli *obs.CLI) error {
+	j, err := ckpt.Open()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	return benchCampaign(ctx, w, j, o, cli)
+}
+
+// benchCampaign is the testable command core: everything after flag
+// parsing and journal opening.
+func benchCampaign(ctx context.Context, w io.Writer, j *checkpoint.Journal, o options, cli *obs.CLI) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
 	var plat *topology.Platform
 	var prof *memsys.Profile
 	var err error
-	if platformFile != "" {
-		if plat, err = memcontention.LoadPlatformFile(platformFile); err != nil {
+	if o.platformFile != "" {
+		if plat, err = memcontention.LoadPlatformFile(o.platformFile); err != nil {
 			return err
 		}
-	} else if plat, err = topology.ByName(platform); err != nil {
+	} else if plat, err = topology.ByName(o.platform); err != nil {
 		return err
 	}
-	if profileFile != "" {
-		if prof, err = memcontention.LoadProfileFile(profileFile, plat); err != nil {
+	if o.profileFile != "" {
+		if prof, err = memcontention.LoadProfileFile(o.profileFile, plat); err != nil {
 			return err
 		}
 	}
-	kern, err := kernelByName(kernelName)
+	kern, err := kernelByName(o.kernelName)
 	if err != nil {
 		return err
 	}
-	size, err := units.ParseByteSize(msgSize)
+	size, err := units.ParseByteSize(o.msgSize)
 	if err != nil {
 		return err
 	}
 	reg := cli.NewRegistry()
-	runner, err := bench.NewRunner(bench.Config{
-		Platform:      plat,
-		Profile:       prof,
-		Kernel:        kern,
-		MessageSize:   size,
-		Seed:          seed,
-		Bidirectional: bidir,
-		Registry:      reg,
-	})
-	if err != nil {
-		return err
-	}
+	j.SetRegistry(reg)
 
 	var placements []model.Placement
-	if comp >= 0 && comm >= 0 {
-		placements = []model.Placement{{Comp: topology.NodeID(comp), Comm: topology.NodeID(comm)}}
+	if o.comp >= 0 && o.comm >= 0 {
+		placements = []model.Placement{{Comp: topology.NodeID(o.comp), Comm: topology.NodeID(o.comm)}}
 	} else {
 		placements = bench.AllPlacements(plat)
 	}
-	for _, pl := range placements {
-		curve, err := runner.RunPlacement(pl)
-		if err != nil {
-			return err
-		}
+	curves, runErr := campaign.Curves(
+		campaign.Config{Seed: o.seed, Context: ctx, Journal: j, Registry: reg},
+		bench.Config{
+			Platform:      plat,
+			Profile:       prof,
+			Kernel:        kern,
+			MessageSize:   size,
+			Seed:          o.seed,
+			Bidirectional: o.bidir,
+		},
+		placements,
+	)
+	for _, curve := range curves {
 		t := curveTable(curve)
-		if csvOut {
-			if err := t.WriteCSV(os.Stdout); err != nil {
+		if o.csvOut {
+			if err := t.WriteCSV(w); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := t.WriteText(os.Stdout); err != nil {
+		if err := t.WriteText(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	man := obs.NewManifest("membench")
 	man.Platform = plat.Name
 	man.Kernel = kern.String()
-	man.Seed = seed
+	man.Seed = o.seed
 	man.Args = os.Args[1:]
 	man.Notes = map[string]string{"message_size": size.String()}
+	if runErr != nil {
+		// A graceful shutdown still flushes telemetry: the journal
+		// already holds every completed curve.
+		if checkpoint.IsCanceled(runErr) {
+			_ = cli.Finish(reg, nil, man)
+		}
+		return runErr
+	}
 	return cli.Finish(reg, nil, man)
 }
 

@@ -19,16 +19,28 @@
 //
 //	memmodel -platform henri -faults plan.json    # cross-check under faults
 //	memmodel -platform henri -robust              # calibration noise sweep
+//	memmodel -platform henri -checkpoint run.ckpt # crash-safe resume
+//
+// With -checkpoint each completed unit (placement curve, cross-check) is
+// journaled durably; SIGINT/SIGTERM interrupts the run cleanly (exit
+// status 130, a `checkpoint` trace event marks the cut in -trace output)
+// and the same command line resumes it with bit-identical results.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"memcontention"
 	"memcontention/internal/bench"
 	"memcontention/internal/calib"
+	"memcontention/internal/campaign"
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/engine"
 	"memcontention/internal/export"
 	"memcontention/internal/model"
 	"memcontention/internal/obs"
@@ -36,94 +48,154 @@ import (
 	"memcontention/internal/trace"
 )
 
+// options are memmodel's parsed command-line inputs.
+type options struct {
+	platform         string
+	seed             uint64
+	jsonOut, predict bool
+	n, comp, comm    int
+	faultsPath       string
+	robust           bool
+	robustTrials     int
+}
+
 func main() {
-	platform := flag.String("platform", "henri", "built-in platform name")
-	seed := flag.Uint64("seed", 1, "measurement noise seed")
-	jsonOut := flag.Bool("json", false, "print the calibrated model as JSON")
-	predict := flag.Bool("predict", false, "print prediction tables for all placements")
-	n := flag.Int("n", 0, "predict for this number of computing cores")
-	comp := flag.Int("comp", 0, "computation data NUMA node for -n")
-	comm := flag.Int("comm", 0, "communication data NUMA node for -n")
-	faults := flag.String("faults", "", "fault plan JSON file: run the DES cross-check under this plan")
-	robust := flag.Bool("robust", false, "print how calibration errors degrade with benchmark noise")
-	robustTrials := flag.Int("robust-trials", 5, "noise realizations per amplitude for -robust")
+	var o options
+	flag.StringVar(&o.platform, "platform", "henri", "built-in platform name")
+	flag.Uint64Var(&o.seed, "seed", 1, "measurement noise seed")
+	flag.BoolVar(&o.jsonOut, "json", false, "print the calibrated model as JSON")
+	flag.BoolVar(&o.predict, "predict", false, "print prediction tables for all placements")
+	flag.IntVar(&o.n, "n", 0, "predict for this number of computing cores")
+	flag.IntVar(&o.comp, "comp", 0, "computation data NUMA node for -n")
+	flag.IntVar(&o.comm, "comm", 0, "communication data NUMA node for -n")
+	flag.StringVar(&o.faultsPath, "faults", "", "fault plan JSON file: run the DES cross-check under this plan")
+	flag.BoolVar(&o.robust, "robust", false, "print how calibration errors degrade with benchmark noise")
+	flag.IntVar(&o.robustTrials, "robust-trials", 5, "noise realizations per amplitude for -robust")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, true)
+	var ckpt checkpoint.CLI
+	ckpt.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*platform, *seed, *jsonOut, *predict, *n, *comp, *comm, *faults, *robust, *robustTrials, &cli); err != nil {
-		fmt.Fprintln(os.Stderr, "memmodel:", err)
-		os.Exit(1)
+	ctx, stop := checkpoint.SignalContext()
+	err := run(ctx, os.Stdout, o, &ckpt, &cli)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "memmodel", err); code != 0 {
+		os.Exit(code)
 	}
 }
 
-func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int, faultsPath string, robust bool, robustTrials int, cli *obs.CLI) error {
+// run opens the journal and executes the command core; split from main so
+// tests can drive the full logic with their own context and journal.
+func run(ctx context.Context, w io.Writer, o options, ckpt *checkpoint.CLI, cli *obs.CLI) error {
+	j, err := ckpt.Open()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+	return modelCampaign(ctx, w, j, o, cli)
+}
+
+func modelCampaign(ctx context.Context, w io.Writer, j *checkpoint.Journal, o options, cli *obs.CLI) (err error) {
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	plat, err := topology.ByName(platform)
+	plat, err := topology.ByName(o.platform)
 	if err != nil {
 		return err
 	}
 	reg := cli.NewRegistry()
-	runner, err := bench.NewRunner(bench.Config{Platform: plat, Seed: seed, Registry: reg})
+	j.SetRegistry(reg)
+	var rec *trace.Recorder
+	if cli.WantsTrace() {
+		rec = trace.NewRecorder()
+	}
+	man := obs.NewManifest("memmodel")
+	man.Platform = o.platform
+	man.Seed = o.seed
+	man.Args = os.Args[1:]
+
+	// Telemetry flushes on success AND on graceful shutdown — an
+	// interrupted run still writes its metrics, manifest, and a
+	// `checkpoint` trace event recording where the campaign was cut.
+	defer func() {
+		if err != nil && !checkpoint.IsCanceled(err) {
+			return
+		}
+		if err != nil && rec != nil {
+			at := 0.0
+			var ce *engine.CanceledError
+			if errors.As(err, &ce) {
+				at = ce.At
+			}
+			rec.CheckpointAt(at, "interrupted: "+campaign.Progress(j))
+		}
+		ferr := cli.Finish(reg, rec, man)
+		if err == nil {
+			err = ferr
+		}
+	}()
+
+	runner, err := bench.NewRunner(bench.Config{Platform: plat, Seed: o.seed, Registry: reg, Context: ctx})
 	if err != nil {
 		return err
 	}
+	runner.WithJournal(j)
+	man.Kernel = runner.Config().Kernel.String()
 	m, err := calib.CalibrateRunner(runner)
 	if err != nil {
 		return err
 	}
 
 	switch {
-	case jsonOut:
-		err = export.WriteJSON(os.Stdout, m)
-	case n > 0:
-		pl := model.Placement{Comp: topology.NodeID(comp), Comm: topology.NodeID(comm)}
-		pred, perr := m.Predict(n, pl)
+	case o.jsonOut:
+		err = export.WriteJSON(w, m)
+	case o.n > 0:
+		pl := model.Placement{Comp: topology.NodeID(o.comp), Comm: topology.NodeID(o.comm)}
+		pred, perr := m.Predict(o.n, pl)
 		if perr != nil {
 			return perr
 		}
-		fmt.Printf("%s, %v, n=%d: computations %.2f GB/s, communications %.2f GB/s\n",
-			platform, pl, n, pred.Comp, pred.Comm)
-	case predict:
+		fmt.Fprintf(w, "%s, %v, n=%d: computations %.2f GB/s, communications %.2f GB/s\n",
+			o.platform, pl, o.n, pred.Comp, pred.Comm)
+	case o.predict:
 		for _, pl := range bench.AllPlacements(plat) {
 			preds, perr := m.PredictCurve(plat.CoresPerSocket(), pl)
 			if perr != nil {
 				return perr
 			}
-			t := export.NewTable(fmt.Sprintf("%s — predicted bandwidths for %v (GB/s)", platform, pl),
+			t := export.NewTable(fmt.Sprintf("%s — predicted bandwidths for %v (GB/s)", o.platform, pl),
 				"n", "computations", "communications")
 			for i, p := range preds {
 				t.AddRow(fmt.Sprint(i+1), export.GBs(p.Comp), export.GBs(p.Comm))
 			}
-			if err := t.WriteText(os.Stdout); err != nil {
+			if err := t.WriteText(w); err != nil {
 				return err
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	default:
 		err = export.ParamsTable(
-			fmt.Sprintf("Calibrated model for %s (seed %d)", platform, seed), m,
-		).WriteText(os.Stdout)
+			fmt.Sprintf("Calibrated model for %s (seed %d)", o.platform, o.seed), m,
+		).WriteText(w)
 	}
 	if err != nil {
 		return err
 	}
 
-	if robust {
+	if o.robust {
 		// A fresh runner so the sweep is reproducible for the seed alone,
 		// independent of how much measurement the calibration consumed.
-		rrunner, rerr := bench.NewRunner(bench.Config{Platform: plat, Seed: seed, Registry: reg})
+		rrunner, rerr := bench.NewRunner(bench.Config{Platform: plat, Seed: o.seed, Registry: reg, Context: ctx})
 		if rerr != nil {
 			return rerr
 		}
-		rep, rerr := calib.Robustness(rrunner, calib.RobustnessOptions{Trials: robustTrials, Seed: seed})
+		rep, rerr := calib.Robustness(rrunner, calib.RobustnessOptions{Trials: o.robustTrials, Seed: o.seed})
 		if rerr != nil {
 			return rerr
 		}
 		t := export.NewTable(
-			fmt.Sprintf("%s — calibration robustness (Table II MAPE vs input noise, %d trials)", platform, robustTrials),
+			fmt.Sprintf("%s — calibration robustness (Table II MAPE vs input noise, %d trials)", o.platform, o.robustTrials),
 			"noise", "comm MAPE %", "comp MAPE %", "average %", "fit failures")
 		row := func(label string, pt calib.RobustnessPoint) {
 			t.AddRow(label,
@@ -136,15 +208,15 @@ func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int,
 		for _, pt := range rep.Points {
 			row(fmt.Sprintf("±%g%%", pt.NoiseRel*100), pt)
 		}
-		if err := t.WriteText(os.Stdout); err != nil {
+		if err := t.WriteText(w); err != nil {
 			return err
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
 	var plan *memcontention.FaultPlan
-	if faultsPath != "" {
-		if plan, err = memcontention.LoadFaultPlan(faultsPath); err != nil {
+	if o.faultsPath != "" {
+		if plan, err = memcontention.LoadFaultPlan(o.faultsPath); err != nil {
 			return err
 		}
 	}
@@ -153,90 +225,27 @@ func run(platform string, seed uint64, jsonOut, predict bool, n, comp, comm int,
 	// on the simulated cluster; it feeds the event trace and the engine's
 	// instruments. Only run it when some telemetry output wants the data
 	// or a fault plan asks to stress it.
-	var rec *trace.Recorder
 	if cli.WantsTrace() || reg != nil || plan != nil {
-		if cli.WantsTrace() {
-			rec = trace.NewRecorder()
+		xc, xerr := campaign.CrossCheck(campaign.Config{
+			Seed:      o.seed,
+			Context:   ctx,
+			Journal:   j,
+			Registry:  reg,
+			Recorder:  rec,
+			FaultPlan: plan,
+		}, o.platform)
+		if xerr != nil {
+			return xerr
 		}
-		if err := crossCheck(platform, plat, reg, rec, plan); err != nil {
-			return err
-		}
-	}
-
-	man := obs.NewManifest("memmodel")
-	man.Platform = platform
-	man.Seed = seed
-	man.Kernel = runner.Config().Kernel.String()
-	man.Args = os.Args[1:]
-	return cli.Finish(reg, rec, man)
-}
-
-// crossCheck runs a two-machine overlap job (rank 0 computes while a
-// large message streams in, rank 1 sends) under the discrete-event
-// simulator, recording flow events and engine metrics. With a fault
-// plan the job runs under injection, guarded by MPI timeouts, drop
-// retries and a watchdog, and the outcome is reported instead of
-// failing the command — a failing run is the plan working as intended.
-func crossCheck(platform string, plat *topology.Platform, reg *obs.Registry, rec *trace.Recorder, plan *memcontention.FaultPlan) error {
-	cluster, err := memcontention.NewCluster(platform, 2)
-	if err != nil {
-		return err
-	}
-	cluster.WithRegistry(reg)
-	if rec != nil {
-		cluster.WithObserver(rec)
-	}
-	if plan != nil {
-		cluster.WithFaults(plan).
-			WithResilience(memcontention.Resilience{OpTimeout: 5, MaxRetries: 4}).
-			WithWatchdog(300, 10_000_000)
-	}
-	const tag = 7
-	msg := 64 * memcontention.MiB
-	cores := plat.CoresPerSocket() / 2
-	if cores < 1 {
-		cores = 1
-	}
-	secs, err := cluster.Run(1, func(ctx *memcontention.RankCtx) {
-		switch ctx.Rank() {
-		case 0:
-			topo := ctx.Machine().Topo
-			work := memcontention.Assignment{
-				Kernel: memcontention.DefaultKernel(),
-				Cores:  topo.SocketSet(0).Take(cores),
-				Node:   0,
-			}
-			if rec != nil {
-				rec.MarkAt(ctx.Now(), "overlap-start")
-			}
-			req, err := ctx.Irecv(1, tag, msg, 0)
-			if err != nil {
-				panic(err)
-			}
-			if _, err := ctx.Compute(work, 256*memcontention.MiB); err != nil {
-				panic(err)
-			}
-			if _, err := ctx.Wait(req); err != nil {
-				panic(err)
-			}
-			if rec != nil {
-				rec.MarkAt(ctx.Now(), "overlap-end")
-			}
-		case 1:
-			if err := ctx.Send(0, tag, msg, 0, nil); err != nil {
-				panic(err)
+		if plan != nil {
+			if xc.Completed {
+				fmt.Fprintf(w, "cross-check under fault plan (seed %d, %d events): completed in %.6f simulated seconds\n",
+					xc.PlanSeed, xc.PlanEvents, xc.SimSeconds)
+			} else {
+				fmt.Fprintf(w, "cross-check under fault plan (seed %d, %d events): failed: %s\n",
+					xc.PlanSeed, xc.PlanEvents, xc.Error)
 			}
 		}
-	})
-	if plan == nil {
-		return err
-	}
-	if err != nil {
-		fmt.Printf("cross-check under fault plan (seed %d, %d events): failed: %v\n",
-			plan.Seed, len(plan.Events), err)
-	} else {
-		fmt.Printf("cross-check under fault plan (seed %d, %d events): completed in %.6f simulated seconds\n",
-			plan.Seed, len(plan.Events), secs)
 	}
 	return nil
 }

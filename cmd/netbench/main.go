@@ -7,13 +7,20 @@
 //	netbench -platform henri
 //	netbench -platform diablo -node 1 -iters 8
 //	netbench -platform henri -metrics m.prom -manifest run.json
+//
+// With -checkpoint each completed message size is journaled durably;
+// SIGINT/SIGTERM stops the sweep cleanly (exit status 130) and the same
+// command resumes it (see docs/resilience.md).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/export"
 	"memcontention/internal/netbench"
 	"memcontention/internal/obs"
@@ -27,15 +34,21 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, false)
+	var ckpt checkpoint.CLI
+	ckpt.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*platform, *node, *iters, *csvOut, &cli); err != nil {
-		fmt.Fprintln(os.Stderr, "netbench:", err)
-		os.Exit(1)
+	ctx, stop := checkpoint.SignalContext()
+	err := run(ctx, os.Stdout, *platform, *node, *iters, *csvOut, &ckpt, &cli)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "netbench", err); code != 0 {
+		os.Exit(code)
 	}
 }
 
-func run(platform string, node, iters int, csvOut bool, cli *obs.CLI) error {
+// run opens the journal and executes the sweep; split from main so tests
+// can drive the full command logic with their own context and journal.
+func run(ctx context.Context, w io.Writer, platform string, node, iters int, csvOut bool, ckpt *checkpoint.CLI, cli *obs.CLI) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
@@ -43,12 +56,20 @@ func run(platform string, node, iters int, csvOut bool, cli *obs.CLI) error {
 	if err != nil {
 		return err
 	}
+	j, err := ckpt.Open()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
 	reg := cli.NewRegistry()
+	j.SetRegistry(reg)
 	points, err := netbench.PingPong(netbench.Config{
 		Platform:   plat,
 		Node:       topology.NodeID(node),
 		Iterations: iters,
 		Registry:   reg,
+		Context:    ctx,
+		Journal:    j,
 	})
 	if err != nil {
 		return err
@@ -61,10 +82,10 @@ func run(platform string, node, iters int, csvOut bool, cli *obs.CLI) error {
 		t.AddRow(p.Size.String(), fmt.Sprintf("%.2f", p.HalfRTT*1e6), export.GBs(p.Bandwidth))
 	}
 	if csvOut {
-		if err := t.WriteCSV(os.Stdout); err != nil {
+		if err := t.WriteCSV(w); err != nil {
 			return err
 		}
-	} else if err := t.WriteText(os.Stdout); err != nil {
+	} else if err := t.WriteText(w); err != nil {
 		return err
 	}
 	man := obs.NewManifest("netbench")

@@ -12,23 +12,33 @@
 //	paperfigs -table 2         # just Table II
 //	paperfigs -fig 4           # just Figure 4 (CSV to stdout)
 //	paperfigs -out results/    # write all artifacts as files (CSV/JSON/txt)
+//
+// With -checkpoint the evaluations are crash-safe (see docs/resilience.md):
+// every completed placement curve and platform evaluation is journaled,
+// SIGINT/SIGTERM stops the run cleanly (exit status 130), and re-running
+// the same command resumes where it died with bit-identical artifacts
+// (files under -out are also written atomically and durably).
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"memcontention/internal/atomicio"
 	"memcontention/internal/bench"
+	"memcontention/internal/campaign"
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/eval"
 	"memcontention/internal/export"
 	"memcontention/internal/model"
 	"memcontention/internal/obs"
 	"memcontention/internal/plot"
 	"memcontention/internal/report"
-	"memcontention/internal/sweep"
 	"memcontention/internal/topology"
 )
 
@@ -41,11 +51,15 @@ func main() {
 	ascii := flag.Bool("plot", false, "render figures as ASCII charts instead of CSV")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, false)
+	var ckpt checkpoint.CLI
+	ckpt.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*table, *fig, *out, *seed, *workers, *ascii, &cli); err != nil {
-		fmt.Fprintln(os.Stderr, "paperfigs:", err)
-		os.Exit(1)
+	ctx, stop := checkpoint.SignalContext()
+	err := run(ctx, os.Stdout, *table, *fig, *out, *seed, *workers, *ascii, &ckpt, &cli)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "paperfigs", err); code != 0 {
+		os.Exit(code)
 	}
 }
 
@@ -60,25 +74,40 @@ var figPlatform = map[int]string{
 	8: "dahu",
 }
 
-func run(table, fig int, out string, seed uint64, workers int, ascii bool, cli *obs.CLI) error {
+// run opens the journal and executes the command core; split from main so
+// tests can drive the full logic with their own context, journal and
+// output sink.
+func run(ctx context.Context, w io.Writer, table, fig int, out string, seed uint64, workers int, ascii bool, ckpt *checkpoint.CLI, cli *obs.CLI) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
-	reg := cli.NewRegistry()
-	if err := dispatch(table, fig, out, seed, workers, ascii, reg); err != nil {
+	j, err := ckpt.Open()
+	if err != nil {
 		return err
 	}
+	defer j.Close()
+	reg := cli.NewRegistry()
+	j.SetRegistry(reg)
 	man := obs.NewManifest("paperfigs")
 	man.Seed = seed
 	man.Args = os.Args[1:]
+	if err := dispatch(ctx, w, table, fig, out, seed, workers, ascii, j, reg); err != nil {
+		// A graceful shutdown still flushes telemetry: the journal
+		// already holds every completed unit.
+		if checkpoint.IsCanceled(err) {
+			_ = cli.Finish(reg, nil, man)
+		}
+		return err
+	}
 	return cli.Finish(reg, nil, man)
 }
 
 // dispatch renders the requested artifacts, recording telemetry into reg
-// (shared by the parallel evaluations; nil disables instrumentation).
-func dispatch(table, fig int, out string, seed uint64, workers int, ascii bool, reg *obs.Registry) error {
+// (shared by the parallel evaluations; nil disables instrumentation) and
+// checkpointing completed units in j (nil disables checkpointing).
+func dispatch(ctx context.Context, w io.Writer, table, fig int, out string, seed uint64, workers int, ascii bool, j *checkpoint.Journal, reg *obs.Registry) error {
 	if table == 1 {
-		return eval.Table1(topology.Testbed()).WriteText(os.Stdout)
+		return eval.Table1(topology.Testbed()).WriteText(w)
 	}
 	// Everything else needs evaluations; run them in parallel.
 	need := map[string]bool{}
@@ -104,13 +133,13 @@ func dispatch(table, fig int, out string, seed uint64, workers int, ascii bool, 
 			names = append(names, p.Name)
 		}
 	}
-	results, err := sweep.Map(names, workers, func(name string) (*eval.PlatformResult, error) {
-		plat, err := topology.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		return eval.EvaluatePlatform(bench.Config{Platform: plat, Seed: seed, Registry: reg})
-	})
+	results, err := campaign.EvaluatePlatforms(campaign.Config{
+		Seed:     seed,
+		Workers:  workers,
+		Context:  ctx,
+		Journal:  j,
+		Registry: reg,
+	}, names)
 	if err != nil {
 		return err
 	}
@@ -121,24 +150,24 @@ func dispatch(table, fig int, out string, seed uint64, workers int, ascii bool, 
 
 	switch {
 	case table == 2:
-		return eval.Table2(results).WriteText(os.Stdout)
+		return eval.Table2(results).WriteText(w)
 	case fig == 2:
 		st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
 		if err != nil {
 			return err
 		}
-		return st.WriteCSV(os.Stdout)
+		return st.WriteCSV(w)
 	case fig != 0:
 		r := byName[figPlatform[fig]]
 		figure := eval.FigureFor(fmt.Sprintf("figure%d", fig), r)
 		if ascii {
-			return writeASCII(os.Stdout, figure)
+			return writeASCII(w, figure)
 		}
-		return figure.WriteCSV(os.Stdout)
+		return figure.WriteCSV(w)
 	case out != "":
-		return writeAll(out, results, byName)
+		return writeAll(w, out, results, byName)
 	default:
-		return printAll(results, byName)
+		return printAll(w, results, byName)
 	}
 }
 
@@ -175,44 +204,46 @@ func writeASCII(w io.Writer, figure *eval.Figure) error {
 	return nil
 }
 
-func printAll(results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
-	if err := eval.Table1(topology.Testbed()).WriteText(os.Stdout); err != nil {
+func printAll(w io.Writer, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
+	if err := eval.Table1(topology.Testbed()).WriteText(w); err != nil {
 		return err
 	}
-	fmt.Println()
-	if err := eval.Table2(results).WriteText(os.Stdout); err != nil {
+	fmt.Fprintln(w)
+	if err := eval.Table2(results).WriteText(w); err != nil {
 		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
 	if err != nil {
 		return err
 	}
-	fmt.Println("FIGURE 2 — stacked bandwidths (henri-subnuma, comp@0/comm@0):")
-	if err := st.WriteCSV(os.Stdout); err != nil {
+	fmt.Fprintln(w, "FIGURE 2 — stacked bandwidths (henri-subnuma, comp@0/comm@0):")
+	if err := st.WriteCSV(w); err != nil {
 		return err
 	}
 	for figNo := 3; figNo <= 8; figNo++ {
 		r := byName[figPlatform[figNo]]
-		fmt.Printf("\nFIGURE %d — %s:\n", figNo, r.Platform)
-		if err := eval.FigureFor(fmt.Sprintf("figure%d", figNo), r).WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintf(w, "\nFIGURE %d — %s:\n", figNo, r.Platform)
+		if err := eval.FigureFor(fmt.Sprintf("figure%d", figNo), r).WriteCSV(w); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeAll(dir string, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
+func writeAll(w io.Writer, dir string, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	// Artifacts are rendered in memory and written atomically + durably
+	// (temp file + fsync + rename): a crash mid-write never leaves a
+	// torn or half-written result file behind.
 	write := func(name string, fn func(f io.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
+		var buf bytes.Buffer
+		if err := fn(&buf); err != nil {
 			return err
 		}
-		defer f.Close()
-		return fn(f)
+		return atomicio.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644)
 	}
 	if err := write("table1.txt", func(f io.Writer) error {
 		return eval.Table1(topology.Testbed()).WriteText(f)
@@ -259,6 +290,6 @@ func writeAll(dir string, results []*eval.PlatformResult, byName map[string]*eva
 			return err
 		}
 	}
-	fmt.Printf("wrote artifacts to %s\n", dir)
+	fmt.Fprintf(w, "wrote artifacts to %s\n", dir)
 	return nil
 }

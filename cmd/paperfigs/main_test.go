@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/obs"
+)
+
+// TestOutKillResumeByteIdenticalArtifacts interrupts a -out run
+// mid-evaluation and asserts the resumed run writes artifact files byte
+// identical to an uninterrupted run's.
+func TestOutKillResumeByteIdenticalArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed evaluation")
+	}
+	base := t.TempDir()
+	freshDir := filepath.Join(base, "fresh")
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, 0, 0, freshDir, 1, 2, false, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := filepath.Join(base, "run.ckpt")
+	j, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j.RecordHook = func(_ string, total int) {
+		if total == 5 {
+			cancel()
+		}
+	}
+	resumedDir := filepath.Join(base, "resumed")
+	err = dispatch(ctx, &buf, 0, 0, resumedDir, 1, 2, false, j, nil)
+	if !checkpoint.IsCanceled(err) {
+		t.Fatalf("err = %v, want cancellation", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := &checkpoint.CLI{Path: jpath, Resume: true}
+	if err := run(context.Background(), &buf, 0, 0, resumedDir, 1, 2, false, ckpt, &obs.CLI{}); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	entries, err := os.ReadDir(freshDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no artifacts written")
+	}
+	for _, e := range entries {
+		want, err := os.ReadFile(filepath.Join(freshDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(resumedDir, e.Name()))
+		if err != nil {
+			t.Fatalf("resumed run missing artifact %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("artifact %s differs between fresh and resumed run", e.Name())
+		}
+	}
+}
+
+func TestTable2ToWriter(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, 1, 0, "", 1, 0, false, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("no output for -table 1")
+	}
+}

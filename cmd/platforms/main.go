@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"memcontention"
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/eval"
 	"memcontention/internal/hwloc"
 	"memcontention/internal/memsys"
@@ -31,19 +33,21 @@ func main() {
 	cli.Register(flag.CommandLine, false)
 	flag.Parse()
 
-	if err := runCLI(*name, *profiles, *topo, *exportDir, &cli); err != nil {
-		fmt.Fprintln(os.Stderr, "platforms:", err)
-		os.Exit(1)
+	ctx, stop := checkpoint.SignalContext()
+	err := runCLI(ctx, *name, *profiles, *topo, *exportDir, &cli)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "platforms", err); code != 0 {
+		os.Exit(code)
 	}
 }
 
-func runCLI(name string, profiles, topo bool, exportDir string, cli *obs.CLI) error {
+func runCLI(ctx context.Context, name string, profiles, topo bool, exportDir string, cli *obs.CLI) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
 	var err error
 	if exportDir != "" {
-		err = exportAll(exportDir)
+		err = exportAll(ctx, exportDir)
 	} else {
 		err = run(name, profiles, topo)
 	}
@@ -58,11 +62,16 @@ func runCLI(name string, profiles, topo bool, exportDir string, cli *obs.CLI) er
 
 // exportAll dumps every built-in platform and profile as JSON files that
 // membench/memmodel can load back with -platformfile/-profilefile.
-func exportAll(dir string) error {
+func exportAll(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, p := range topology.Testbed() {
+		// The exported files are written atomically, so interrupting
+		// between platforms never leaves a torn pair behind.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		prof, err := memsys.ProfileFor(p.Name)
 		if err != nil {
 			return err

@@ -4,8 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"memcontention/internal/atomicio"
 	"memcontention/internal/model"
 )
 
@@ -85,38 +85,18 @@ func SaveModelFile(path string, m Model) error {
 	return writeJSONFile(path, m)
 }
 
-// writeJSONFile writes v atomically: the JSON is staged in a temporary
-// file next to the target and renamed into place, so a crash (or a
-// marshal error) never leaves a truncated or half-written file where a
-// previously good one existed.
+// writeJSONFile writes v atomically and durably: the JSON is staged in a
+// temporary file next to the target, fsynced, renamed into place, and the
+// parent directory is fsynced — so a crash (or a marshal error, or power
+// loss) never leaves a truncated or half-written file where a previously
+// good one existed. See internal/atomicio for the exact guarantees.
 func writeJSONFile(path string, v any) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("memcontention: encode %s: %w", path, err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
-	if err != nil {
+	if err := atomicio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("memcontention: write %s: %w", path, err)
 	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if _, err := tmp.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("memcontention: write %s: %w", path, err)
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		return fmt.Errorf("memcontention: write %s: %w", path, err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("memcontention: write %s: %w", path, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("memcontention: write %s: %w", path, err)
-	}
-	tmp = nil // renamed away: nothing to clean up
 	return nil
 }

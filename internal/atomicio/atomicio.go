@@ -1,0 +1,75 @@
+// Package atomicio writes files with power-loss-safe durability: data is
+// staged in a temporary file in the destination directory, fsynced,
+// renamed over the target, and the parent directory is fsynced so the
+// rename itself survives a crash. This is the write path used for every
+// artifact that must never be observed truncated or half-written — saved
+// platforms, models, run manifests and, most importantly, checkpoint
+// journals (see internal/checkpoint).
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically and durably replaces path with data. On return
+// without error, either the old content or the new content is on disk in
+// full — never a mixture, never a truncation — even across power loss:
+//
+//  1. the data is written to a temporary file next to path,
+//  2. the temporary file is fsynced (content reaches the platters),
+//  3. the temporary file is renamed over path (atomic on POSIX),
+//  4. the parent directory is fsynced (the rename reaches the platters).
+//
+// On any error the temporary file is removed and the previous content of
+// path is untouched.
+func WriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: stage %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	tmp = nil // renamed away: nothing to clean up
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory so that a just-created, renamed or removed
+// entry in it survives power loss. Platforms whose directory handles
+// reject fsync (some network and FAT filesystems) report ineffectiveness
+// through the returned error; Linux local filesystems support it.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return d.Close()
+}

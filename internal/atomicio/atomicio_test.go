@@ -1,0 +1,88 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+	if err := WriteFile(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("content after replace = %q, want %q", got, "second")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("perm = %v, want 0644", perm)
+	}
+}
+
+func TestWriteFileLeavesNoTempOnSuccess(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "a"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "a" {
+		t.Fatalf("directory has unexpected entries: %v", entries)
+	}
+}
+
+func TestWriteFileMissingDirectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "out")
+	if err := WriteFile(path, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error for missing parent directory")
+	}
+}
+
+// TestWriteFileRenameOntoDirectory covers the rename error path: the
+// target exists but is a directory, so the rename must fail and the
+// staged temporary file must be cleaned up.
+func TestWriteFileRenameOntoDirectory(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "occupied")
+	if err := os.Mkdir(target, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(target, []byte("x"), 0o644); err == nil {
+		t.Fatal("expected error renaming over a directory")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".occupied.tmp-") {
+			t.Fatalf("temporary file %s left behind after failed rename", e.Name())
+		}
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a fresh directory: %v", err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

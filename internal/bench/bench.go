@@ -12,8 +12,12 @@
 package bench
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/kernels"
 	"memcontention/internal/memsys"
 	"memcontention/internal/model"
@@ -46,6 +50,11 @@ type Config struct {
 	// solver calls, bandwidth histograms). Nil disables instrumentation
 	// at zero cost.
 	Registry *obs.Registry
+	// Context, when set, lets a campaign driver cancel the sweep between
+	// placements: RunPlacement/RunAll/RunSamples return ctx's error at
+	// the next point boundary. Nil (or context.Background()) keeps the
+	// measurement loops check-free.
+	Context context.Context
 }
 
 // withDefaults fills unset fields.
@@ -122,9 +131,12 @@ func (c *Curve) Series(name string) ([]float64, error) {
 
 // Runner executes benchmark campaigns on one machine.
 type Runner struct {
-	cfg Config
-	sys *memsys.System
-	m   benchInstruments
+	cfg     Config
+	sys     *memsys.System
+	m       benchInstruments
+	done    <-chan struct{}
+	journal *checkpoint.Journal
+	scope   string
 }
 
 // benchInstruments are the runner's telemetry hooks; nil instruments
@@ -162,7 +174,55 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: %w", err)
 	}
-	return &Runner{cfg: cfg, sys: sys, m: newBenchInstruments(cfg.Registry)}, nil
+	r := &Runner{cfg: cfg, sys: sys, m: newBenchInstruments(cfg.Registry)}
+	if cfg.Context != nil {
+		r.done = cfg.Context.Done()
+	}
+	r.scope = scopeKey(cfg)
+	return r, nil
+}
+
+// scopeKey condenses everything that determines a benchmark result into a
+// stable journal-key prefix. Two configurations share a scope exactly when
+// they would produce bit-identical curves, so a resumed campaign can never
+// replay results measured under different parameters. The profile is
+// content-hashed rather than named because custom profiles may reuse a
+// built-in platform's name.
+func scopeKey(cfg Config) string {
+	h := fnv.New64a()
+	if data, err := json.Marshal(cfg.Profile); err == nil {
+		h.Write(data)
+	}
+	return fmt.Sprintf("bench|%s|%s|seed=%d|rep=%d|msg=%d|bidir=%t|prof=%016x",
+		cfg.Platform.Name, cfg.Kernel, cfg.Seed, cfg.Repeats, cfg.MessageSize, cfg.Bidirectional, h.Sum64())
+}
+
+// WithJournal attaches a checkpoint journal: RunPlacement returns the
+// journaled curve for an already-completed placement without re-solving,
+// and records each freshly measured curve durably before returning it.
+// Determinism makes the cache transparent — a hit returns exactly what a
+// re-measurement would. Nil (the default) disables checkpointing at zero
+// cost. It returns the runner for chaining.
+func (r *Runner) WithJournal(j *checkpoint.Journal) *Runner {
+	r.journal = j
+	return r
+}
+
+// Scope returns the runner's journal-key prefix (see scopeKey); campaign
+// drivers extend it for derived artifacts such as evaluation tables.
+func (r *Runner) Scope() string { return r.scope }
+
+// canceled reports a pending cancellation (never true without a Context).
+func (r *Runner) canceled() error {
+	if r.done == nil {
+		return nil
+	}
+	select {
+	case <-r.done:
+		return context.Cause(r.cfg.Context)
+	default:
+		return nil
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -272,10 +332,22 @@ func (r *Runner) MeasurePoint(pl model.Placement, n int) (Point, error) {
 	return pt, nil
 }
 
-// RunPlacement sweeps n = 1..cores(socket 0) for one placement.
+// RunPlacement sweeps n = 1..cores(socket 0) for one placement. With a
+// journal attached (WithJournal) a placement completed by an earlier,
+// interrupted run is returned from the journal instead of re-measured,
+// and each fresh curve is journaled durably before being returned.
 func (r *Runner) RunPlacement(pl model.Placement) (*Curve, error) {
 	if int(pl.Comp) >= r.cfg.Platform.NNodes() || int(pl.Comm) >= r.cfg.Platform.NNodes() || pl.Comp < 0 || pl.Comm < 0 {
 		return nil, fmt.Errorf("bench: placement %v out of range for %d nodes", pl, r.cfg.Platform.NNodes())
+	}
+	key := fmt.Sprintf("%s|pl=%s", r.scope, pl)
+	if r.journal != nil {
+		var cached Curve
+		if ok, err := r.journal.Get(key, &cached); err != nil {
+			return nil, fmt.Errorf("bench: journal entry %s: %w", key, err)
+		} else if ok {
+			return &cached, nil
+		}
 	}
 	nMax := r.cfg.Platform.CoresPerSocket()
 	curve := &Curve{
@@ -285,6 +357,9 @@ func (r *Runner) RunPlacement(pl model.Placement) (*Curve, error) {
 		Points:    make([]Point, 0, nMax),
 	}
 	for n := 1; n <= nMax; n++ {
+		if err := r.canceled(); err != nil {
+			return nil, fmt.Errorf("bench: placement %v canceled: %w", pl, err)
+		}
 		pt, err := r.MeasurePoint(pl, n)
 		if err != nil {
 			return nil, err
@@ -292,6 +367,9 @@ func (r *Runner) RunPlacement(pl model.Placement) (*Curve, error) {
 		curve.Points = append(curve.Points, pt)
 	}
 	r.m.placements.Inc()
+	if err := r.journal.Record(key, curve); err != nil {
+		return nil, fmt.Errorf("bench: journal %s: %w", key, err)
+	}
 	return curve, nil
 }
 

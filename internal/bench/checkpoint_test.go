@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+)
+
+func TestScopeKeyDistinguishesConfigs(t *testing.T) {
+	base := Config{Platform: topology.Henri()}
+	r1, err := NewRunner(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(r1.Scope(), "bench|henri|") {
+		t.Fatalf("scope = %q", r1.Scope())
+	}
+	variants := []Config{
+		{Platform: topology.Henri(), Seed: 2},
+		{Platform: topology.Henri(), Repeats: 5},
+		{Platform: topology.Henri(), Bidirectional: true},
+		{Platform: topology.Dahu()},
+	}
+	for i, cfg := range variants {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Scope() == r1.Scope() {
+			t.Errorf("variant %d shares scope %q with the base config", i, r1.Scope())
+		}
+	}
+	// Same config twice → same scope (stable key for resume).
+	r2, err := NewRunner(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Scope() != r2.Scope() {
+		t.Errorf("scope not stable: %q vs %q", r1.Scope(), r2.Scope())
+	}
+}
+
+func TestRunPlacementJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := henriRunner(t, 1).WithJournal(j)
+	pl := model.Placement{Comp: 0, Comm: 0}
+	fresh, err := r.RunPlacement(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("journal has %d entries after one placement", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second runner resuming from the same journal must return the
+	// identical curve without re-measuring.
+	j2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	r2 := henriRunner(t, 1).WithJournal(j2)
+	cached, err := r2.RunPlacement(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, cached) {
+		t.Fatalf("journaled curve differs from fresh measurement:\n%+v\n%+v", fresh, cached)
+	}
+	// Measuring from the journal must not have bumped the measurement
+	// instruments path (the curve came from Get, not MeasurePoint);
+	// verify by checking a different placement still measures fine.
+	if _, err := r2.RunPlacement(model.Placement{Comp: 1, Comm: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("journal has %d entries, want 2", j2.Len())
+	}
+}
+
+func TestRunPlacementCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := NewRunner(Config{Platform: topology.Henri(), Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.RunPlacement(model.Placement{Comp: 0, Comm: 0})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A journaled placement is still served after cancellation: resume
+	// readers drain the cache without running the measurement loop.
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	warm := henriRunner(t, 1).WithJournal(j)
+	if _, err := warm.RunPlacement(model.Placement{Comp: 0, Comm: 0}); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewRunner(Config{Platform: topology.Henri(), Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cold.WithJournal(j).RunPlacement(model.Placement{Comp: 0, Comm: 0}); err != nil {
+		t.Fatalf("journal hit must not observe cancellation: %v", err)
+	}
+}
+
+func TestBackgroundContextIsFree(t *testing.T) {
+	r, err := NewRunner(Config{Platform: topology.Henri(), Context: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunPlacement(model.Placement{Comp: 0, Comm: 0}); err != nil {
+		t.Fatal(err)
+	}
+}

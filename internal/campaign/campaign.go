@@ -1,0 +1,320 @@
+// Package campaign drives the paper's multi-stage experiment pipelines as
+// crash-safe, resumable campaigns. It layers three things on top of the
+// bench/eval/netbench building blocks:
+//
+//   - checkpointing: every completed unit (a placement curve, a platform
+//     evaluation, a ping-pong point, a DES cross-check) is recorded in an
+//     append-only journal (internal/checkpoint) before the campaign moves
+//     on, so a killed run resumes exactly where it died;
+//   - cancellation: a context threads through every layer down to the
+//     discrete-event engine, so SIGINT stops the campaign at a clean unit
+//     boundary with all completed work already journaled;
+//   - determinism: results depend only on (seed, configuration) via
+//     internal/rng, so a resumed campaign is bit-identical to an
+//     uninterrupted one — the journal saves time, never changes results.
+//
+// The soak harness (scripts/soak) kills and resumes these pipelines
+// repeatedly and asserts byte-identical final artifacts.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"memcontention"
+	"memcontention/internal/bench"
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/eval"
+	"memcontention/internal/faults"
+	"memcontention/internal/netbench"
+	"memcontention/internal/obs"
+	"memcontention/internal/sweep"
+	"memcontention/internal/topology"
+	"memcontention/internal/trace"
+)
+
+// Config parameterises a campaign. The zero value (plus defaults applied
+// by each entry point) runs the standard seed-1 pipeline without
+// checkpointing, cancellation or telemetry.
+type Config struct {
+	// Seed drives all measurement noise (default 1).
+	Seed uint64
+	// Workers bounds the evaluation worker pool (0: GOMAXPROCS).
+	Workers int
+	// Context cancels the campaign cooperatively at unit boundaries.
+	// Nil keeps every layer check-free.
+	Context context.Context
+	// Journal checkpoints completed units; nil disables checkpointing.
+	Journal *checkpoint.Journal
+	// Registry receives telemetry from every layer; nil disables it.
+	Registry *obs.Registry
+	// Recorder, when set, receives trace events from the DES cross-check.
+	Recorder *trace.Recorder
+	// FaultPlan, when set, runs the DES cross-check under fault
+	// injection guarded by MPI resilience and a watchdog.
+	FaultPlan *faults.Plan
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ctx returns the effective context (never nil).
+func (c Config) ctx() context.Context {
+	if c.Context == nil {
+		return context.Background()
+	}
+	return c.Context
+}
+
+// EvaluatePlatforms runs the full §IV evaluation for the named built-in
+// platforms on a worker pool, returning results in input order. Each
+// platform evaluation is journaled whole (key "eval|<scope>") and its
+// placement curves are journaled individually, so resume granularity is
+// one placement even when the evaluation itself was interrupted.
+func EvaluatePlatforms(cfg Config, names []string) ([]*eval.PlatformResult, error) {
+	cfg = cfg.withDefaults()
+	return sweep.MapCtx(cfg.ctx(), names, cfg.Workers, func(name string) (*eval.PlatformResult, error) {
+		return evaluateOne(cfg, name)
+	})
+}
+
+func evaluateOne(cfg Config, name string) (*eval.PlatformResult, error) {
+	plat, err := topology.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := bench.NewRunner(bench.Config{
+		Platform: plat,
+		Seed:     cfg.Seed,
+		Registry: cfg.Registry,
+		Context:  cfg.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+	runner.WithJournal(cfg.Journal)
+	key := "eval|" + runner.Scope()
+	if cfg.Journal != nil {
+		var cached eval.PlatformResult
+		if ok, err := cfg.Journal.Get(key, &cached); err != nil {
+			return nil, fmt.Errorf("campaign: journal entry %s: %w", key, err)
+		} else if ok {
+			return &cached, nil
+		}
+	}
+	res, err := eval.EvaluateRunner(runner)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Journal.Record(key, res); err != nil {
+		return nil, fmt.Errorf("campaign: journal %s: %w", key, err)
+	}
+	return res, nil
+}
+
+// Curves measures the given placements of one platform configuration,
+// journaling each completed curve. It is the resumable core of the
+// membench command.
+func Curves(cfg Config, bc bench.Config, placements []memcontention.Placement) ([]*bench.Curve, error) {
+	cfg = cfg.withDefaults()
+	if bc.Seed == 0 {
+		bc.Seed = cfg.Seed
+	}
+	if bc.Registry == nil {
+		bc.Registry = cfg.Registry
+	}
+	if bc.Context == nil {
+		bc.Context = cfg.Context
+	}
+	runner, err := bench.NewRunner(bc)
+	if err != nil {
+		return nil, err
+	}
+	runner.WithJournal(cfg.Journal)
+	curves := make([]*bench.Curve, 0, len(placements))
+	for _, pl := range placements {
+		c, err := runner.RunPlacement(pl)
+		if err != nil {
+			return nil, err
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Netbench runs the ping-pong size sweep for one platform, journaling
+// each completed size.
+func Netbench(cfg Config, platform string) ([]netbench.Point, error) {
+	cfg = cfg.withDefaults()
+	plat, err := topology.ByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	return netbench.PingPong(netbench.Config{
+		Platform: plat,
+		Registry: cfg.Registry,
+		Context:  cfg.Context,
+		Journal:  cfg.Journal,
+	})
+}
+
+// CrossCheckResult is the recorded outcome of the DES overlap cross-check.
+// Under a fault plan a failing run is the plan working as intended, so the
+// failure is captured here instead of surfacing as a campaign error.
+type CrossCheckResult struct {
+	Platform   string  `json:"platform"`
+	SimSeconds float64 `json:"sim_seconds"`
+	Completed  bool    `json:"completed"`
+	Error      string  `json:"error,omitempty"`
+	PlanSeed   uint64  `json:"plan_seed,omitempty"`
+	PlanEvents int     `json:"plan_events,omitempty"`
+}
+
+// CrossCheck replays the paper's motivating overlap scenario (rank 0
+// computes while a large message streams in, rank 1 sends) on a simulated
+// two-machine cluster, optionally under cfg.FaultPlan with MPI timeouts,
+// drop retries and a watchdog armed. The outcome is journaled (the DES is
+// deterministic), cancellation propagates from cfg.Context between
+// simulation events, and trace events land in cfg.Recorder.
+func CrossCheck(cfg Config, platform string) (*CrossCheckResult, error) {
+	cfg = cfg.withDefaults()
+	key := crossCheckKey(cfg, platform)
+	if cfg.Journal != nil {
+		var cached CrossCheckResult
+		if ok, err := cfg.Journal.Get(key, &cached); err != nil {
+			return nil, fmt.Errorf("campaign: journal entry %s: %w", key, err)
+		} else if ok {
+			return &cached, nil
+		}
+	}
+	plat, err := topology.ByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := memcontention.NewCluster(platform, 2)
+	if err != nil {
+		return nil, err
+	}
+	cluster.WithRegistry(cfg.Registry)
+	if cfg.Recorder != nil {
+		cluster.WithObserver(cfg.Recorder)
+	}
+	if cfg.Context != nil {
+		cluster.WithContext(cfg.Context)
+	}
+	res := &CrossCheckResult{Platform: platform}
+	if cfg.FaultPlan != nil {
+		cluster.WithFaults(cfg.FaultPlan).
+			WithResilience(memcontention.Resilience{OpTimeout: 5, MaxRetries: 4}).
+			WithWatchdog(300, 10_000_000)
+		res.PlanSeed = cfg.FaultPlan.Seed
+		res.PlanEvents = len(cfg.FaultPlan.Events)
+	}
+
+	const tag = 7
+	msg := 64 * memcontention.MiB
+	cores := plat.CoresPerSocket() / 2
+	if cores < 1 {
+		cores = 1
+	}
+	rec := cfg.Recorder
+	secs, runErr := cluster.Run(1, func(ctx *memcontention.RankCtx) {
+		switch ctx.Rank() {
+		case 0:
+			topo := ctx.Machine().Topo
+			work := memcontention.Assignment{
+				Kernel: memcontention.DefaultKernel(),
+				Cores:  topo.SocketSet(0).Take(cores),
+				Node:   0,
+			}
+			if rec != nil {
+				rec.MarkAt(ctx.Now(), "overlap-start")
+			}
+			req, err := ctx.Irecv(1, tag, msg, 0)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := ctx.Compute(work, 256*memcontention.MiB); err != nil {
+				panic(err)
+			}
+			if _, err := ctx.Wait(req); err != nil {
+				panic(err)
+			}
+			if rec != nil {
+				rec.MarkAt(ctx.Now(), "overlap-end")
+			}
+		case 1:
+			if err := ctx.Send(0, tag, msg, 0, nil); err != nil {
+				panic(err)
+			}
+		}
+	})
+	// Cancellation is never an outcome to journal: the unit did not
+	// complete and must re-run on resume.
+	if checkpoint.IsCanceled(runErr) {
+		return nil, runErr
+	}
+	res.SimSeconds = secs
+	res.Completed = runErr == nil
+	if runErr != nil {
+		if cfg.FaultPlan == nil {
+			return nil, runErr
+		}
+		res.Error = runErr.Error()
+		res.SimSeconds = 0
+	}
+	if err := cfg.Journal.Record(key, res); err != nil {
+		return nil, fmt.Errorf("campaign: journal %s: %w", key, err)
+	}
+	return res, nil
+}
+
+// crossCheckKey identifies one cross-check outcome: platform plus the
+// exact fault plan (content-addressed) it ran under.
+func crossCheckKey(cfg Config, platform string) string {
+	plan := "none"
+	if cfg.FaultPlan != nil {
+		plan = cfg.FaultPlan.Fingerprint()
+	}
+	return fmt.Sprintf("xcheck|%s|plan=%s", platform, plan)
+}
+
+// TestbedNames returns the Table I platform names in the paper's order.
+func TestbedNames() []string {
+	plats := topology.Testbed()
+	names := make([]string, len(plats))
+	for i, p := range plats {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Progress summarises how much of a campaign a journal already covers,
+// for "resuming: ..." banners and checkpoint trace labels.
+func Progress(j *checkpoint.Journal) string {
+	if j == nil {
+		return "no journal"
+	}
+	counts := map[string]int{}
+	var kinds []string
+	for _, key := range j.Keys() {
+		kind, _, _ := strings.Cut(key, "|")
+		if counts[kind] == 0 {
+			kinds = append(kinds, kind)
+		}
+		counts[kind]++
+	}
+	if len(kinds) == 0 {
+		return "journal empty"
+	}
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%d %s", counts[k], k))
+	}
+	return strings.Join(parts, ", ") + " journaled"
+}

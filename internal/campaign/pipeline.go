@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"memcontention/internal/atomicio"
+	"memcontention/internal/eval"
+	"memcontention/internal/netbench"
+)
+
+// Artifacts is the final output of a full pipeline run: everything needed
+// to regenerate the paper's Table II plus the network sweep and the DES
+// cross-check outcome. All content is deterministic in (seed, config), so
+// two runs of the same pipeline — interrupted and resumed any number of
+// times — produce byte-identical files from Write.
+type Artifacts struct {
+	Seed       uint64                 `json:"seed"`
+	Platforms  []*eval.PlatformResult `json:"platforms"`
+	Netbench   []netbench.Point       `json:"netbench"`
+	CrossCheck *CrossCheckResult      `json:"cross_check"`
+}
+
+// Pipeline runs the full Table II campaign: evaluate the named platforms
+// (nil: the whole Table I testbed), sweep the network on the first one,
+// and run the DES cross-check (under cfg.FaultPlan when set). Every
+// completed unit is journaled via cfg.Journal, so an interrupted pipeline
+// resumes where it died; see the package comment for the guarantees.
+func Pipeline(cfg Config, names []string) (*Artifacts, error) {
+	cfg = cfg.withDefaults()
+	if len(names) == 0 {
+		names = TestbedNames()
+	}
+	results, err := EvaluatePlatforms(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	points, err := Netbench(cfg, names[0])
+	if err != nil {
+		return nil, err
+	}
+	xc, err := CrossCheck(cfg, names[0])
+	if err != nil {
+		return nil, err
+	}
+	return &Artifacts{Seed: cfg.Seed, Platforms: results, Netbench: points, CrossCheck: xc}, nil
+}
+
+// Write stores the artifacts in dir: table2.json / table2.txt (the model
+// errors in machine and paper form), netbench.json and crosscheck.json.
+// Every file is written atomically and durably (temp + fsync + rename),
+// so a crash during Write never leaves a torn artifact.
+func (a *Artifacts) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var table bytes.Buffer
+	if err := eval.Table2(a.Platforms).WriteText(&table); err != nil {
+		return err
+	}
+	files := []struct {
+		name string
+		data func() ([]byte, error)
+	}{
+		{"table2.txt", func() ([]byte, error) { return table.Bytes(), nil }},
+		{"table2.json", func() ([]byte, error) { return marshal(a.Platforms) }},
+		{"netbench.json", func() ([]byte, error) { return marshal(a.Netbench) }},
+		{"crosscheck.json", func() ([]byte, error) { return marshal(a.CrossCheck) }},
+	}
+	for _, f := range files {
+		data, err := f.data()
+		if err != nil {
+			return fmt.Errorf("campaign: encode %s: %w", f.name, err)
+		}
+		if err := atomicio.WriteFile(filepath.Join(dir, f.name), data, 0o644); err != nil {
+			return fmt.Errorf("campaign: write %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

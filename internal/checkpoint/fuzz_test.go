@@ -1,0 +1,102 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// compact normalizes a JSON payload for comparison: encoding/json
+// compacts embedded RawMessages on marshal, so whitespace inside a
+// payload is not preserved across an encode/decode round trip.
+func compact(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	if len(raw) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		// Not syntactically valid on its own (can happen for exotic
+		// inputs): fall back to raw bytes.
+		return raw
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode drives the journal decoder with arbitrary bytes. The
+// decoder is the crash-recovery path — it runs on whatever a killed
+// process left on disk — so it must never panic and must uphold its
+// contract on any input: truncated, corrupt and duplicate entries are
+// skipped or rejected, the valid prefix is well-formed, and decoding is
+// idempotent over re-encoded output.
+func FuzzDecode(f *testing.F) {
+	// A well-formed journal.
+	var good []byte
+	for _, e := range []Entry{
+		{Key: "eval|henri|seed=1", Payload: []byte(`{"n":7}`)},
+		{Key: "curve|dahu|pl=0/1", Payload: []byte(`[1,2,3]`)},
+	} {
+		line, err := EncodeEntry(e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		good = append(good, line...)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-7])                         // torn tail
+	f.Add(append(append([]byte{}, good...), good...)) // duplicates
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("deadbeef {\"key\":\"x\"}\n")) // wrong CRC
+	f.Add([]byte("zzzzzzzz {\"key\":\"x\"}\n")) // non-hex CRC
+	f.Add([]byte("00000000 \n"))                // empty record
+	f.Add([]byte("0" + string(good)))           // shifted framing
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := Decode(data)
+
+		if res.Valid < 0 || res.Valid > int64(len(data)) {
+			t.Fatalf("valid prefix %d out of range [0,%d]", res.Valid, len(data))
+		}
+		// The valid prefix must itself re-decode to exactly the same
+		// entries with nothing dropped beyond duplicates.
+		again := Decode(data[:res.Valid])
+		if len(again.Entries) != len(res.Entries) || again.Valid != res.Valid {
+			t.Fatalf("valid prefix is not stable: %d/%d entries, %d/%d bytes",
+				len(again.Entries), len(res.Entries), again.Valid, res.Valid)
+		}
+
+		seen := make(map[string]bool, len(res.Entries))
+		var reenc []byte
+		for _, e := range res.Entries {
+			if e.Key == "" {
+				t.Fatal("decoded entry with empty key")
+			}
+			if seen[e.Key] {
+				t.Fatalf("duplicate key %q survived decoding", e.Key)
+			}
+			seen[e.Key] = true
+			line, err := EncodeEntry(e)
+			if err != nil {
+				t.Fatalf("decoded entry does not re-encode: %v", err)
+			}
+			reenc = append(reenc, line...)
+		}
+
+		// Round trip: re-encoding the decoded entries and decoding again
+		// must be lossless and fully valid.
+		back := Decode(reenc)
+		if back.Valid != int64(len(reenc)) || back.Dropped != 0 || back.Duplicates != 0 {
+			t.Fatalf("re-encoded journal does not decode cleanly: %+v", back)
+		}
+		if len(back.Entries) != len(res.Entries) {
+			t.Fatalf("round trip lost entries: %d != %d", len(back.Entries), len(res.Entries))
+		}
+		for i := range back.Entries {
+			if back.Entries[i].Key != res.Entries[i].Key ||
+				!bytes.Equal(compact(t, back.Entries[i].Payload), compact(t, res.Entries[i].Payload)) {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,397 @@
+// Package checkpoint provides the crash-safe resume layer for long
+// experiment campaigns: an append-only journal of completed experiment
+// units, each content-keyed by everything that determines its result
+// (platform, kernel, seed, placement, ...). A campaign records every unit
+// as it completes; after a kill, OOM, preemption or Ctrl-C, re-running the
+// same campaign against the same journal skips the completed units and
+// recomputes only the missing ones. Because every noise source derives
+// from rng (seed, label) streams, the resumed half is bit-identical to an
+// uninterrupted run — the journal only saves time, never changes results.
+//
+// Durability model: each entry is one line, CRC-protected, appended and
+// fsynced before the unit is considered checkpointed. A crash can lose at
+// most the entry being written; a torn or corrupt tail is detected on
+// open and truncated away (the affected units are simply recomputed).
+// All methods are safe on a nil *Journal and cost nothing, mirroring the
+// nil-registry guarantee of the telemetry subsystem.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"memcontention/internal/atomicio"
+	"memcontention/internal/obs"
+)
+
+// Entry is one journaled experiment unit: a content key and the unit's
+// result payload (JSON).
+type Entry struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// EncodeEntry renders one journal line: an IEEE CRC32 of the compact JSON
+// record (8 hex digits), a space, the record, a newline. The CRC lets the
+// decoder distinguish a torn or bit-rotted line from a valid one.
+func EncodeEntry(e Entry) ([]byte, error) {
+	if e.Key == "" {
+		return nil, fmt.Errorf("checkpoint: empty entry key")
+	}
+	rec, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode entry %q: %w", e.Key, err)
+	}
+	line := make([]byte, 0, len(rec)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(rec))
+	line = append(line, rec...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// DecodeResult is the outcome of decoding a journal image.
+type DecodeResult struct {
+	// Entries are the decoded units in append order, deduplicated by
+	// key (the first occurrence wins — later duplicates are by
+	// construction identical re-records of the same unit).
+	Entries []Entry
+	// Valid is the byte length of the journal prefix that decoded
+	// cleanly. Anything beyond it is a torn tail or corruption and is
+	// truncated away on Open.
+	Valid int64
+	// Duplicates counts entries skipped because their key was already
+	// present.
+	Duplicates int
+	// Dropped counts lines (complete or torn) discarded after the
+	// valid prefix.
+	Dropped int
+}
+
+// Decode parses a journal image. It never panics on any input: a
+// truncated final line, a corrupt CRC, invalid JSON, an empty key or a
+// stray blank line all end the valid prefix there, and everything after
+// is reported as dropped. Entries with duplicate keys are skipped.
+func Decode(data []byte) DecodeResult {
+	var res DecodeResult
+	seen := make(map[string]bool)
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Torn tail: an append crashed before the newline.
+			break
+		}
+		e, ok := decodeLine(data[off : off+nl])
+		if !ok {
+			break
+		}
+		off += nl + 1
+		if seen[e.Key] {
+			res.Duplicates++
+			continue
+		}
+		seen[e.Key] = true
+		res.Entries = append(res.Entries, e)
+	}
+	res.Valid = int64(off)
+	// Count the discarded remainder for diagnostics: every complete line
+	// plus a final torn fragment, if any.
+	if rest := data[off:]; len(rest) > 0 {
+		res.Dropped = bytes.Count(rest, []byte{'\n'})
+		if rest[len(rest)-1] != '\n' {
+			res.Dropped++
+		}
+	}
+	return res
+}
+
+// decodeLine validates one journal line (without its newline).
+func decodeLine(line []byte) (Entry, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return Entry{}, false
+	}
+	crc, ok := parseHex8(line[:8])
+	if !ok {
+		return Entry{}, false
+	}
+	rec := line[9:]
+	if crc32.ChecksumIEEE(rec) != crc {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(rec, &e); err != nil {
+		return Entry{}, false
+	}
+	if e.Key == "" {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// parseHex8 strictly parses exactly eight lowercase-or-uppercase hex
+// digits (no signs, prefixes or partial matches).
+func parseHex8(b []byte) (uint32, bool) {
+	var v uint32
+	for _, c := range b {
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// Journal is an open checkpoint journal. It is safe for concurrent use —
+// campaign sweeps record units from worker goroutines.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	order   []string
+	entries map[string]json.RawMessage
+	loaded  int
+	dropped int64
+	m       instruments
+
+	// RecordHook, when set, runs after each durable append with the
+	// recorded key and the new entry count. The soak harness and the
+	// graceful-shutdown tests use it to cancel a campaign at a
+	// deterministic unit boundary. The hook runs with the journal lock
+	// held: it must not call back into the journal (use the total
+	// argument instead of Len).
+	RecordHook func(key string, total int)
+}
+
+// instruments are the journal's telemetry hooks; nil instruments (no
+// registry attached) record nothing.
+type instruments struct {
+	loaded    *obs.Counter
+	written   *obs.Counter
+	hits      *obs.Counter
+	recovered *obs.Counter
+	entries   *obs.Gauge
+}
+
+// Open creates or resumes the journal at path. A torn or corrupt tail
+// (crash during an append, bit rot) is detected, reported by
+// RecoveredBytes, and truncated away so subsequent appends extend a valid
+// prefix.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	res := Decode(data)
+	if res.Valid < int64(len(data)) {
+		if err := f.Truncate(res.Valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: recover %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: recover %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(res.Valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seek %s: %w", path, err)
+	}
+	// Make the journal file itself durable: if this Open created it, the
+	// directory entry must survive power loss too. Best effort on
+	// filesystems that cannot fsync directories is not acceptable here —
+	// a journal that vanishes silently breaks the resume contract.
+	if err := atomicio.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	j := &Journal{
+		path:    path,
+		f:       f,
+		entries: make(map[string]json.RawMessage, len(res.Entries)),
+		loaded:  len(res.Entries),
+		dropped: int64(len(data)) - res.Valid,
+	}
+	for _, e := range res.Entries {
+		j.order = append(j.order, e.Key)
+		j.entries[e.Key] = e.Payload
+	}
+	return j, nil
+}
+
+// SetRegistry attaches telemetry instruments. A nil registry (or nil
+// journal) keeps instrumentation disabled at zero cost.
+func (j *Journal) SetRegistry(r *obs.Registry) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.m = instruments{
+		loaded:    r.Counter("memcontention_checkpoint_entries_loaded_total", "Journal entries recovered from disk at open.", nil),
+		written:   r.Counter("memcontention_checkpoint_entries_written_total", "Journal entries durably appended.", nil),
+		hits:      r.Counter("memcontention_checkpoint_hits_total", "Experiment units skipped because the journal already had them.", nil),
+		recovered: r.Counter("memcontention_checkpoint_recovered_bytes_total", "Torn or corrupt journal bytes truncated away at open.", nil),
+		entries:   r.Gauge("memcontention_checkpoint_entries", "Entries currently in the journal.", nil),
+	}
+	j.m.loaded.Add(float64(j.loaded))
+	j.m.recovered.Add(float64(j.dropped))
+	j.m.entries.Set(float64(len(j.order)))
+}
+
+// Path reports the journal's file path ("" for a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Len reports the number of entries.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.order)
+}
+
+// LoadedEntries reports how many entries were recovered from disk at Open
+// (before any Record of this process).
+func (j *Journal) LoadedEntries() int {
+	if j == nil {
+		return 0
+	}
+	return j.loaded
+}
+
+// RecoveredBytes reports how many torn or corrupt trailing bytes Open
+// truncated away.
+func (j *Journal) RecoveredBytes() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.dropped
+}
+
+// Keys returns the entry keys in append order.
+func (j *Journal) Keys() []string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.order...)
+}
+
+// Has reports whether key is journaled. Nil journals report false.
+func (j *Journal) Has(key string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.entries[key]
+	return ok
+}
+
+// Get unmarshals the payload of key into v and reports whether the key
+// was present; a hit is counted in the telemetry. A payload that no
+// longer unmarshals into v reports (false, error) — callers treat it as
+// a miss and recompute.
+func (j *Journal) Get(key string, v any) (bool, error) {
+	if j == nil {
+		return false, nil
+	}
+	j.mu.Lock()
+	raw, ok := j.entries[key]
+	hits := j.m.hits
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if v != nil {
+		if err := json.Unmarshal(raw, v); err != nil {
+			return false, fmt.Errorf("checkpoint: payload of %q: %w", key, err)
+		}
+	}
+	hits.Inc()
+	return true, nil
+}
+
+// Record durably appends one completed unit: the line is written and
+// fsynced before Record returns, so a kill at any later instant cannot
+// lose the unit. Recording a key that is already journaled is a no-op
+// (the result is deterministic, so the payloads are identical). A nil
+// journal records nothing.
+func (j *Journal) Record(key string, v any) error {
+	if j == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: payload of %q: %w", key, err)
+	}
+	line, err := EncodeEntry(Entry{Key: key, Payload: payload})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[key]; ok {
+		return nil
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: append %s: %w", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync %s: %w", j.path, err)
+	}
+	j.order = append(j.order, key)
+	j.entries[key] = payload
+	j.m.written.Inc()
+	j.m.entries.Set(float64(len(j.order)))
+	if j.RecordHook != nil {
+		j.RecordHook(key, len(j.order))
+	}
+	return nil
+}
+
+// Close releases the journal file. Entries already recorded stay durable;
+// the journal must not be used afterwards. Closing a nil journal is a
+// no-op.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", j.path, err)
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"memcontention/internal/obs"
+)
+
+type payload struct {
+	N int     `json:"n"`
+	F float64 `json:"f"`
+}
+
+func openT(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "units.journal")
+	j := openT(t, path)
+	if j.Len() != 0 || j.LoadedEntries() != 0 {
+		t.Fatalf("fresh journal not empty: len=%d loaded=%d", j.Len(), j.LoadedEntries())
+	}
+	want := payload{N: 7, F: 3.14159}
+	if err := j.Record("unit|a", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("unit|b", payload{N: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Has("unit|a") || j.Has("unit|zzz") {
+		t.Fatal("Has is wrong")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: both entries must come back, byte-exact.
+	j2 := openT(t, path)
+	if j2.Len() != 2 || j2.LoadedEntries() != 2 || j2.RecoveredBytes() != 0 {
+		t.Fatalf("reopen: len=%d loaded=%d recovered=%d", j2.Len(), j2.LoadedEntries(), j2.RecoveredBytes())
+	}
+	var got payload
+	ok, err := j2.Get("unit|a", &got)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("payload = %+v, want %+v", got, want)
+	}
+	if keys := j2.Keys(); len(keys) != 2 || keys[0] != "unit|a" || keys[1] != "unit|b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestJournalDuplicateRecordIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "units.journal")
+	j := openT(t, path)
+	if err := j.Record("k", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	size1 := fileSize(t, path)
+	if err := j.Record("k", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if size2 := fileSize(t, path); size2 != size1 {
+		t.Fatalf("duplicate record grew the journal: %d -> %d", size1, size2)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("len = %d, want 1", j.Len())
+	}
+}
+
+func TestJournalRecoversTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "units.journal")
+	j := openT(t, path)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := j.Record(k, payload{N: len(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Simulate a crash mid-append: chop the last line in half.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := data[:len(data)-9]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path)
+	if j2.Len() != 2 || !j2.Has("a") || !j2.Has("b") || j2.Has("c") {
+		t.Fatalf("after torn tail: len=%d keys=%v", j2.Len(), j2.Keys())
+	}
+	if j2.RecoveredBytes() == 0 {
+		t.Fatal("recovery not reported")
+	}
+	// The torn bytes must be gone from disk, and appends must extend a
+	// valid prefix.
+	if err := j2.Record("c", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := openT(t, path)
+	if j3.Len() != 3 || j3.RecoveredBytes() != 0 {
+		t.Fatalf("after re-append: len=%d recovered=%d", j3.Len(), j3.RecoveredBytes())
+	}
+}
+
+func TestJournalRecoversCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "units.journal")
+	j := openT(t, path)
+	if err := j.Record("good", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("deadbeef {\"key\":\"evil\"}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openT(t, path)
+	if j2.Len() != 1 || j2.Has("evil") {
+		t.Fatalf("corrupt line accepted: keys=%v", j2.Keys())
+	}
+	if j2.RecoveredBytes() == 0 {
+		t.Fatal("corruption not reported")
+	}
+}
+
+func TestJournalGetTypeMismatch(t *testing.T) {
+	j := openT(t, filepath.Join(t.TempDir(), "u.journal"))
+	if err := j.Record("k", "a string payload"); err != nil {
+		t.Fatal(err)
+	}
+	var wrong payload
+	ok, err := j.Get("k", &wrong)
+	if ok || err == nil {
+		t.Fatalf("type-mismatched Get: ok=%v err=%v (want miss with error)", ok, err)
+	}
+}
+
+func TestNilJournalIsFree(t *testing.T) {
+	var j *Journal
+	if j.Has("x") || j.Len() != 0 || j.Path() != "" || j.Keys() != nil {
+		t.Fatal("nil journal not inert")
+	}
+	if ok, err := j.Get("x", nil); ok || err != nil {
+		t.Fatal("nil journal Get not inert")
+	}
+	if err := j.Record("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j.SetRegistry(obs.NewRegistry()) // must not panic
+}
+
+func TestJournalMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "u.journal")
+	j := openT(t, path)
+	reg := obs.NewRegistry()
+	j.SetRegistry(reg)
+	if err := j.Record("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := j.Get("a", nil); !ok {
+		t.Fatal("miss")
+	}
+	var out bytes.Buffer
+	if err := reg.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"memcontention_checkpoint_entries_written_total 1",
+		"memcontention_checkpoint_hits_total 1",
+		"memcontention_checkpoint_entries 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestJournalRecordHook(t *testing.T) {
+	j := openT(t, filepath.Join(t.TempDir(), "u.journal"))
+	var keys []string
+	j.RecordHook = func(key string, total int) { keys = append(keys, key) }
+	if err := j.Record("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", 1); err != nil { // duplicate: no hook
+		t.Fatal(err)
+	}
+	if err := j.Record("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("hook calls = %v", keys)
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := openT(t, filepath.Join(t.TempDir(), "u.journal"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := strings.Repeat("k", i%3+1) + string(rune('0'+w))
+				if err := j.Record(key, i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	path := j.Path()
+	j.Close()
+	j2 := openT(t, path)
+	if j2.RecoveredBytes() != 0 {
+		t.Fatalf("concurrent appends produced %d invalid bytes", j2.RecoveredBytes())
+	}
+	if j2.Len() != 24 {
+		t.Fatalf("len = %d, want 24 distinct keys", j2.Len())
+	}
+}
+
+func TestDecodeCountsDuplicatesAndDropped(t *testing.T) {
+	var img []byte
+	for _, e := range []Entry{{Key: "a"}, {Key: "b"}, {Key: "a"}} {
+		line, err := EncodeEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img = append(img, line...)
+	}
+	img = append(img, []byte("garbage line\nmore garbage\ntorn")...)
+	res := Decode(img)
+	if len(res.Entries) != 2 || res.Duplicates != 1 {
+		t.Fatalf("entries=%d dup=%d", len(res.Entries), res.Duplicates)
+	}
+	if res.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3 (two garbage lines + torn tail)", res.Dropped)
+	}
+	if int(res.Valid) >= len(img) {
+		t.Fatal("valid prefix should stop before the garbage")
+	}
+}
+
+func TestEncodeEntryRejectsEmptyKey(t *testing.T) {
+	if _, err := EncodeEntry(Entry{}); err == nil {
+		t.Fatal("empty key encoded")
+	}
+}
+
+func TestSignalContextAndIsCanceled(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already canceled: %v", err)
+	}
+	if !IsCanceled(context.Canceled) || IsCanceled(os.ErrNotExist) || IsCanceled(nil) {
+		t.Fatal("IsCanceled misclassifies")
+	}
+}
+
+func TestCLIOpen(t *testing.T) {
+	dir := t.TempDir()
+
+	var c CLI
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse([]string{"-checkpoint", filepath.Join(dir, "j")}); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Open()
+	if err != nil || j == nil {
+		t.Fatalf("Open: %v", err)
+	}
+	j.Close()
+
+	// No flags: nil journal, no error.
+	if j, err := (&CLI{}).Open(); err != nil || j != nil {
+		t.Fatalf("empty CLI: j=%v err=%v", j, err)
+	}
+	// -resume alone is an error.
+	if _, err := (&CLI{Resume: true}).Open(); err == nil {
+		t.Fatal("-resume without -checkpoint accepted")
+	}
+	// -resume with a missing journal is an error.
+	if _, err := (&CLI{Path: filepath.Join(dir, "missing"), Resume: true}).Open(); err == nil {
+		t.Fatal("-resume with missing journal accepted")
+	}
+	// -resume with an existing journal works.
+	c2 := CLI{Path: filepath.Join(dir, "j"), Resume: true}
+	j2, err := c2.Open()
+	if err != nil || j2 == nil {
+		t.Fatalf("resume Open: %v", err)
+	}
+	j2.Close()
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func TestReport(t *testing.T) {
+	var buf bytes.Buffer
+	if code := Report(&buf, "cmd", nil); code != 0 || buf.Len() != 0 {
+		t.Fatalf("nil error: code=%d output=%q", code, buf.String())
+	}
+	buf.Reset()
+	if code := Report(&buf, "cmd", context.Canceled); code != ExitInterrupted {
+		t.Fatalf("canceled: code=%d", code)
+	}
+	if !strings.Contains(buf.String(), "interrupted") || !strings.Contains(buf.String(), "resume") {
+		t.Fatalf("cancellation epilogue = %q", buf.String())
+	}
+	buf.Reset()
+	if code := Report(&buf, "cmd", errors.New("boom")); code != 1 {
+		t.Fatalf("failure: code=%d", code)
+	}
+	if !strings.Contains(buf.String(), "cmd: boom") {
+		t.Fatalf("failure epilogue = %q", buf.String())
+	}
+}

@@ -1,0 +1,86 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ExitInterrupted is the process exit status for a run that was
+// interrupted (SIGINT/SIGTERM) after flushing its partial results: the
+// conventional 128+SIGINT, distinct from the generic failure status 1 so
+// wrappers can tell "failed" from "interrupted, safe to resume".
+const ExitInterrupted = 130
+
+// SignalContext returns a context canceled on SIGINT or SIGTERM. After
+// the first signal the handlers are kept installed (cancellation already
+// happened); a second Ctrl-C during a slow flush falls back to the Go
+// runtime's default hard exit via the returned stop function being the
+// only remaining teardown. Call stop to release the signal handlers.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// IsCanceled reports whether err is (or wraps) a context cancellation —
+// the signature of a graceful shutdown rather than a real failure.
+func IsCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Report prints a command epilogue for err and returns the status to
+// pass to os.Exit: 0 for nil, ExitInterrupted for a graceful shutdown
+// (with a resume hint instead of an error dump), 1 for real failures.
+func Report(w io.Writer, cmd string, err error) int {
+	if err == nil {
+		return 0
+	}
+	if IsCanceled(err) {
+		fmt.Fprintf(w, "%s: interrupted — completed units are saved; re-run with the same flags (and -checkpoint journal, if any) to resume\n", cmd)
+		return ExitInterrupted
+	}
+	fmt.Fprintf(w, "%s: %v\n", cmd, err)
+	return 1
+}
+
+// CLI bundles the checkpoint command-line flags shared by the campaign
+// commands:
+//
+//	-checkpoint <file>  journal completed units there and skip units
+//	                    already present (crash-safe resume)
+//	-resume             require the journal to already exist
+//
+// Register the flags, then call Open after flag parsing; a nil journal
+// (no -checkpoint) disables checkpointing at zero cost.
+type CLI struct {
+	Path   string
+	Resume bool
+}
+
+// Register adds the checkpoint flags to fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.StringVar(&c.Path, "checkpoint", "", "append completed experiment units to this journal file and resume from it (crash-safe)")
+	fs.BoolVar(&c.Resume, "resume", false, "with -checkpoint: require the journal to already exist (catches path typos when resuming)")
+}
+
+// Open opens (or creates) the configured journal. Without -checkpoint it
+// returns (nil, nil) — and an error if -resume was given alone. With
+// -resume the journal file must already exist.
+func (c *CLI) Open() (*Journal, error) {
+	if c.Path == "" {
+		if c.Resume {
+			return nil, errors.New("checkpoint: -resume requires -checkpoint <file>")
+		}
+		return nil, nil
+	}
+	if c.Resume {
+		if _, err := os.Stat(c.Path); err != nil {
+			return nil, fmt.Errorf("checkpoint: -resume: %w", err)
+		}
+	}
+	return Open(c.Path)
+}

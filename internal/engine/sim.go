@@ -15,6 +15,7 @@ package engine
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -80,6 +81,11 @@ type Sim struct {
 	// budgets; zero values disable the watchdog entirely.
 	maxSimTime float64
 	maxEvents  int64
+	// ctx/done carry external cancellation (SIGINT, test deadlines).
+	// A nil done channel — the default, and what context.Background()
+	// yields — keeps the event loop entirely check-free.
+	ctx  context.Context
+	done <-chan struct{}
 	// m holds the optional instruments; the zero value (nil pointers)
 	// makes every recording call a no-op.
 	m simInstruments
@@ -331,6 +337,43 @@ func (e *BudgetError) Error() string {
 	return msg
 }
 
+// CanceledError reports a run stopped by external cancellation (signal
+// handler, test deadline): the event loop exited cleanly between two
+// events, so simulation state is consistent and partial results can be
+// flushed. It unwraps to the context's cause, so
+// errors.Is(err, context.Canceled) identifies a graceful shutdown.
+type CanceledError struct {
+	// At is the simulated time at which the run stopped.
+	At float64
+	// Events is the number of events fired before stopping.
+	Events int64
+	// Cause is the context's cancellation cause.
+	Cause error
+	// Stuck lists every unfinished process, sorted by name.
+	Stuck []WaitState
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("engine: run canceled at t=%.6fs after %d events (%d process(es) unfinished): %v",
+		e.At, e.Events, len(e.Stuck), e.Cause)
+}
+
+// Unwrap exposes the cancellation cause for errors.Is/As.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// SetContext installs an external cancellation source: Run returns a
+// *CanceledError as soon as ctx is done, checked between events (never
+// mid-event, so state stays consistent). A nil context — or any context
+// that can never be canceled, such as context.Background() — removes the
+// check entirely, keeping the historical zero-cost event loop.
+func (s *Sim) SetContext(ctx context.Context) {
+	if ctx == nil {
+		s.ctx, s.done = nil, nil
+		return
+	}
+	s.ctx, s.done = ctx, ctx.Done()
+}
+
 // SetBudget arms the watchdog: Run fails with a BudgetError as soon as
 // simulated time would pass maxSimTime seconds or more than maxEvents
 // events have fired. A zero (or negative) value disables that budget;
@@ -386,6 +429,13 @@ func (s *Sim) Run() error {
 	defer func() { s.running = false }()
 
 	for s.events.Len() > 0 {
+		if s.done != nil {
+			select {
+			case <-s.done:
+				return &CanceledError{At: s.now, Events: s.fired, Cause: context.Cause(s.ctx), Stuck: s.waitStates()}
+			default:
+			}
+		}
 		e := heap.Pop(&s.events).(*event)
 		if e.cancelled {
 			continue

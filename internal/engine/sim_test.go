@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -247,5 +249,68 @@ func TestManyProcsStress(t *testing.T) {
 	}
 	if done != procs {
 		t.Errorf("%d/%d processes completed", done, procs)
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	s := NewSim()
+	s.Spawn("p", func(p *Proc) { p.Sleep(1) })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	err := s.Run()
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v does not unwrap to context.Canceled", err)
+	}
+	if len(ce.Stuck) != 1 {
+		t.Fatalf("stuck = %v, want the unstarted process", ce.Stuck)
+	}
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	s := NewSim()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.SetContext(ctx)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(float64(i), func() {
+			fired++
+			if i == 4 {
+				cancel()
+			}
+		})
+	}
+	err := s.Run()
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CanceledError", err)
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d events, want 5 (cancellation takes effect between events)", fired)
+	}
+	if ce.At != 4 || ce.Events != 5 {
+		t.Fatalf("CanceledError At=%v Events=%d, want At=4 Events=5", ce.At, ce.Events)
+	}
+}
+
+func TestBackgroundContextIsFree(t *testing.T) {
+	s := NewSim()
+	s.SetContext(context.Background())
+	done := false
+	s.After(1, func() { done = true })
+	if err := s.Run(); err != nil || !done {
+		t.Fatalf("run with background context: err=%v done=%v", err, done)
+	}
+	// nil resets to no checking at all.
+	s2 := NewSim()
+	s2.SetContext(nil)
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

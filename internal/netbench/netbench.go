@@ -7,8 +7,12 @@
 package netbench
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"hash/fnv"
 
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/engine"
 	"memcontention/internal/memsys"
 	"memcontention/internal/mpi"
@@ -40,6 +44,24 @@ type Config struct {
 	// Registry, when set, receives sweep telemetry and the per-size
 	// simulations' engine instruments. Nil disables instrumentation.
 	Registry *obs.Registry
+	// Context, when set, cancels the sweep cooperatively: PingPong
+	// returns ctx's error at the next size boundary and the in-flight
+	// simulation stops between events. Nil keeps the sweep check-free.
+	Context context.Context
+	// Journal, when set, checkpoints each completed size: a resumed
+	// sweep returns journaled points instead of re-simulating them.
+	Journal *checkpoint.Journal
+}
+
+// scope condenses everything that determines a sweep's points into a
+// stable journal-key prefix (the profile is content-hashed because custom
+// profiles may reuse a built-in platform's name).
+func (c Config) scope() string {
+	h := fnv.New64a()
+	if data, err := json.Marshal(c.Profile); err == nil {
+		h.Write(data)
+	}
+	return fmt.Sprintf("netbench|%s|node=%d|iters=%d|prof=%016x", c.Platform.Name, c.Node, c.Iterations, h.Sum64())
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -74,7 +96,23 @@ func PingPong(cfg Config) ([]Point, error) {
 	sweeps := cfg.Registry.Counter("memcontention_netbench_points_total", "Ping-pong sweep points measured.", nil)
 	bw := cfg.Registry.Histogram("memcontention_netbench_bandwidth_gbps", "Ping-pong bandwidths over the size sweep.", obs.BandwidthBuckets(), nil)
 	rtt := cfg.Registry.Histogram("memcontention_netbench_half_rtt_seconds", "One-way ping-pong times over the size sweep.", obs.DurationBuckets(), nil)
+	scope := cfg.scope()
 	for _, size := range cfg.Sizes {
+		key := fmt.Sprintf("%s|size=%d", scope, size)
+		if cfg.Journal != nil {
+			var cached Point
+			if ok, err := cfg.Journal.Get(key, &cached); err != nil {
+				return nil, fmt.Errorf("netbench: journal entry %s: %w", key, err)
+			} else if ok {
+				points = append(points, cached)
+				continue
+			}
+		}
+		if cfg.Context != nil {
+			if err := cfg.Context.Err(); err != nil {
+				return nil, fmt.Errorf("netbench: sweep canceled at size %s: %w", size, err)
+			}
+		}
 		pt, err := pingPongOne(cfg, size)
 		if err != nil {
 			return nil, fmt.Errorf("netbench: size %s: %w", size, err)
@@ -82,6 +120,9 @@ func PingPong(cfg Config) ([]Point, error) {
 		sweeps.Inc()
 		bw.Observe(pt.Bandwidth)
 		rtt.Observe(pt.HalfRTT)
+		if err := cfg.Journal.Record(key, pt); err != nil {
+			return nil, fmt.Errorf("netbench: journal %s: %w", key, err)
+		}
 		points = append(points, pt)
 	}
 	return points, nil
@@ -92,6 +133,7 @@ func PingPong(cfg Config) ([]Point, error) {
 func pingPongOne(cfg Config, size units.ByteSize) (Point, error) {
 	sim := engine.NewSim()
 	sim.SetRegistry(cfg.Registry)
+	sim.SetContext(cfg.Context)
 	wire := simnet.WireRateFor(cfg.Platform.NIC.Tech, cfg.Platform.NIC.PCIeGen)
 	fabric, err := simnet.NewFabric(sim, wire, 1.5e-6)
 	if err != nil {

@@ -1,8 +1,13 @@
 package netbench
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
 	"testing"
 
+	"memcontention/internal/checkpoint"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
 )
@@ -94,5 +99,49 @@ func TestPingPongDeterministic(t *testing.T) {
 	}
 	if a[0] != b[0] {
 		t.Error("ping-pong must be deterministic")
+	}
+}
+
+func TestPingPongJournalResumeAndCancel(t *testing.T) {
+	sizes := []units.ByteSize{units.KiB, 4 * units.KiB, 16 * units.KiB}
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Platform: topology.Henri(), Sizes: sizes, Journal: j}
+	fresh, err := PingPong(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != len(sizes) {
+		t.Fatalf("journal has %d entries, want %d", j.Len(), len(sizes))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with a pre-canceled context: every size is journaled, so
+	// the sweep completes from the cache without hitting the check.
+	j2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	resumed, err := PingPong(Config{Platform: topology.Henri(), Sizes: sizes, Journal: j2, Context: ctx})
+	if err != nil {
+		t.Fatalf("fully journaled sweep must not observe cancellation: %v", err)
+	}
+	if !reflect.DeepEqual(fresh, resumed) {
+		t.Fatalf("resumed points differ:\n%+v\n%+v", fresh, resumed)
+	}
+
+	// A sweep with un-journaled work left does stop.
+	more := append(append([]units.ByteSize(nil), sizes...), 64*units.KiB)
+	_, err = PingPong(Config{Platform: topology.Henri(), Sizes: more, Journal: j2, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

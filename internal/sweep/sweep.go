@@ -5,6 +5,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -24,8 +25,20 @@ func DefaultWorkers() int {
 // input order. The first error aborts scheduling of new work (in-flight
 // jobs finish) and is returned joined with any other errors.
 func Map[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), items, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done no new
+// item is scheduled (in-flight jobs finish — fn observes ctx itself if it
+// wants to stop earlier) and the context error is reported alongside any
+// job errors. Campaign drivers rely on this to stop at a unit boundary on
+// SIGINT with every completed unit already journaled.
+func MapCtx[T, R any](ctx context.Context, items []T, workers int, fn func(T) (R, error)) ([]R, error) {
 	if fn == nil {
 		return nil, errors.New("sweep: nil function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -63,6 +76,8 @@ func Map[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
 			}
 		}()
 	}
+	var ctxErr error
+scheduling:
 	for i := range items {
 		mu.Lock()
 		stop := failed
@@ -70,10 +85,18 @@ func Map[T, R any](items []T, workers int, fn func(T) (R, error)) ([]R, error) {
 		if stop {
 			break
 		}
-		jobs <- job{idx: i}
+		select {
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break scheduling
+		case jobs <- job{idx: i}:
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if ctxErr != nil {
+		errs = append([]error{ctxErr}, errs...)
+	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -98,5 +99,49 @@ func TestWorkerClamping(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Error("DefaultWorkers must be at least 1")
+	}
+}
+
+func TestMapCtxCanceledStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	items := make([]int, 100)
+	_, err := MapCtx(ctx, items, 1, func(int) (int, error) {
+		n := started.Add(1)
+		if n == 3 {
+			cancel()
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The worker may have drained at most a couple of already-queued
+	// jobs past the cancellation point, never the whole input.
+	if n := started.Load(); n > 6 {
+		t.Fatalf("%d jobs ran after cancellation", n)
+	}
+}
+
+func TestMapCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := MapCtx(ctx, []int{1, 2, 3}, 2, func(int) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("pre-canceled context still ran jobs")
+	}
+}
+
+func TestMapCtxNilContext(t *testing.T) {
+	out, err := MapCtx(nil, []int{1, 2}, 2, func(v int) (int, error) { return v * 2, nil })
+	if err != nil || len(out) != 2 || out[0] != 2 || out[1] != 4 {
+		t.Fatalf("out=%v err=%v", out, err)
 	}
 }

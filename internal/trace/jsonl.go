@@ -44,7 +44,7 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 		case RateChange:
 			active := ev.ActiveFlows
 			je.Active = &active
-		case Mark, Fault:
+		case Mark, Fault, Checkpoint:
 			je.Label = ev.Label
 		}
 		if err := enc.Encode(je); err != nil {

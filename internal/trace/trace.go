@@ -31,6 +31,9 @@ const (
 	// Fault is a fault-injection event (link degraded, node crashed,
 	// message dropped, ...) recorded by the faults layer.
 	Fault
+	// Checkpoint marks a graceful interruption: the run stopped here with
+	// all completed units journaled, ready to be resumed.
+	Checkpoint
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +49,8 @@ func (k EventKind) String() string {
 		return "mark"
 	case Fault:
 		return "fault"
+	case Checkpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -131,6 +136,13 @@ func (r *Recorder) RatesResolved(at float64, rates map[int]float64) {
 // MarkAt adds a user annotation at the given simulated time.
 func (r *Recorder) MarkAt(at float64, label string) {
 	r.events = append(r.events, Event{At: at, Kind: Mark, Label: label})
+}
+
+// CheckpointAt records a graceful-interruption marker at the given
+// simulated time: everything before it is journaled and a resumed run
+// will pick up exactly here.
+func (r *Recorder) CheckpointAt(at float64, label string) {
+	r.events = append(r.events, Event{At: at, Kind: Checkpoint, Label: label})
 }
 
 // FaultAt records a fault-injection event at the given simulated time.
@@ -232,7 +244,7 @@ func (r *Recorder) Timeline(max int) string {
 			fmt.Fprintf(&b, "  #%d at %.2f GB/s", ev.FlowID, ev.AvgRate)
 		case RateChange:
 			fmt.Fprintf(&b, "  %d active", ev.ActiveFlows)
-		case Mark, Fault:
+		case Mark, Fault, Checkpoint:
 			fmt.Fprintf(&b, "  %s", ev.Label)
 		}
 		b.WriteByte('\n')

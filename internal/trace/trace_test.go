@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -157,5 +158,25 @@ func TestEventKindString(t *testing.T) {
 	}
 	if EventKind(99).String() == "" {
 		t.Error("unknown kind must render")
+	}
+}
+
+func TestCheckpointEvent(t *testing.T) {
+	var r Recorder
+	r.CheckpointAt(1.5, "interrupted: 3/9 placements journaled")
+	if Checkpoint.String() != "checkpoint" {
+		t.Fatalf("Checkpoint.String() = %q", Checkpoint.String())
+	}
+	out := r.Timeline(0)
+	if !strings.Contains(out, "checkpoint") || !strings.Contains(out, "3/9 placements") {
+		t.Fatalf("timeline missing checkpoint event:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, `"kind":"checkpoint"`) || !strings.Contains(line, `"label":"interrupted: 3/9 placements journaled"`) {
+		t.Fatalf("jsonl missing checkpoint fields: %s", line)
 	}
 }
