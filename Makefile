@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race repro bench fuzz soak fmt
+.PHONY: check vet build test race repro bench fuzz soak prof-smoke fmt
 
 check: vet build race repro ## pre-merge gate: vet + build + race tests + reproduction
 
@@ -31,6 +31,13 @@ fuzz:
 	$(GO) test -fuzz '^FuzzLoadPlatformFile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzLoadProfileFile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace/
+
+# prof-smoke runs memprof on the seeded overlap scenario and validates
+# the Perfetto export byte-for-byte against the golden file (regenerate
+# after intended changes with `go test ./cmd/memprof -run Golden -update`).
+prof-smoke:
+	$(GO) test -run 'TestMemprof' -count=1 ./cmd/memprof/
 
 # soak kills the Table II pipeline at seeded random points and resumes
 # it from the checkpoint journal, asserting byte-identical artifacts

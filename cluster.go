@@ -10,6 +10,7 @@ import (
 	"memcontention/internal/kernels"
 	"memcontention/internal/mpi"
 	"memcontention/internal/obs"
+	"memcontention/internal/prof"
 	"memcontention/internal/simnet"
 	"memcontention/internal/units"
 )
@@ -103,6 +104,7 @@ type Cluster struct {
 	machines []*simnet.Machine
 	reg      *obs.Registry
 	observer engine.FlowObserver
+	profiler *prof.Profiler
 	plan     *faults.Plan
 	res      mpi.Resilience
 	ran      bool
@@ -174,6 +176,29 @@ func (c *Cluster) WithObserver(o engine.FlowObserver) *Cluster {
 	return c
 }
 
+// WithProfiler attaches a contention attribution profiler: it becomes the
+// flow observer of every machine and the causal span recorder of every
+// simulation layer (memory flows, fabric transfers, MPI operations and
+// ranks), producing one timeline that interleaves flow events with the
+// span forest. A nil profiler (the default) keeps every layer's span hook
+// nil, preserving the allocation-free unprofiled hot path. It returns the
+// cluster for chaining.
+func (c *Cluster) WithProfiler(p *prof.Profiler) *Cluster {
+	c.profiler = p
+	if p == nil {
+		return c
+	}
+	c.WithObserver(p)
+	for _, m := range c.machines {
+		m.Flows.SetSpanRecorder(p)
+	}
+	c.fabric.SetSpanRecorder(p)
+	return c
+}
+
+// Profiler returns the attached profiler (nil when none).
+func (c *Cluster) Profiler() *prof.Profiler { return c.profiler }
+
 // WithFaults arms a fault plan on the cluster: the plan's timed events
 // are injected during Run, deterministically (same seed + same plan =
 // bit-identical runs). A nil plan — the default — installs no hooks and
@@ -233,6 +258,9 @@ func (c *Cluster) Run(ranksPerMachine int, main func(*RankCtx)) (simSeconds floa
 	}
 	if err := world.SetResilience(c.res); err != nil {
 		return 0, err
+	}
+	if c.profiler != nil {
+		world.SetSpanRecorder(c.profiler)
 	}
 	if c.plan != nil {
 		inj, err := faults.New(c.plan)

@@ -1,0 +1,196 @@
+// Command memprof is the contention attribution profiler's front end: it
+// replays the paper's motivating overlap scenario (§II) on a simulated
+// cluster with causal spans enabled — or loads a previously recorded
+// trace — and reports where the makespan went: the critical path through
+// ranks, MPI operations, fabric transfers and memory flows; the
+// per-resource utilization of every memory-system link; and the
+// per-stream attribution summary pinning the timeline's bandwidth
+// integrals to the engine's reported averages.
+//
+// Usage:
+//
+//	memprof -platform henri                  # profile the overlap scenario
+//	memprof -platform dahu -top 3            # top 3 contended links
+//	memprof -load run.jsonl                  # analyse a recorded trace
+//	memprof -platform henri -perfetto p.json # export for ui.perfetto.dev
+//
+// Telemetry (all optional, see docs/observability.md):
+//
+//	memprof -platform henri -trace t.jsonl   # full span trace as JSONL
+//	memprof -platform henri -metrics m.prom -manifest run.json
+//
+// Robustness (see docs/resilience.md):
+//
+//	memprof -platform henri -checkpoint run.ckpt
+//
+// With -checkpoint the profiled scenario is journaled and its span slice
+// saved beside the journal (<journal>.spans/); re-running the same
+// command stitches the recorded spans instead of re-simulating, and a
+// resumed multi-unit campaign produces a byte-identical merged trace.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memcontention/internal/campaign"
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/obs"
+	"memcontention/internal/prof"
+	"memcontention/internal/trace"
+)
+
+// options are memprof's parsed command-line inputs.
+type options struct {
+	platform string
+	seed     uint64
+	load     string
+	perfetto string
+	top      int
+	width    int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.platform, "platform", "henri", "built-in platform name to profile")
+	flag.Uint64Var(&o.seed, "seed", 1, "scenario seed (journal key component)")
+	flag.StringVar(&o.load, "load", "", "analyse this recorded JSONL trace instead of running a scenario")
+	flag.StringVar(&o.perfetto, "perfetto", "", "write a Chrome trace-event JSON export (open in ui.perfetto.dev)")
+	flag.IntVar(&o.top, "top", 5, "number of contended links to highlight")
+	flag.IntVar(&o.width, "width", 60, "share chart width in columns")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine, true)
+	var ckpt checkpoint.CLI
+	ckpt.Register(flag.CommandLine)
+	flag.Parse()
+
+	ctx, stop := checkpoint.SignalContext()
+	err := run(ctx, os.Stdout, o, &ckpt, &cli)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "memprof", err); code != 0 {
+		os.Exit(code)
+	}
+}
+
+// run opens the journal and executes the command core; split from main so
+// tests can drive the full logic with their own context and outputs.
+func run(ctx context.Context, w io.Writer, o options, ckpt *checkpoint.CLI, cli *obs.CLI) (err error) {
+	if err := cli.Start(); err != nil {
+		return err
+	}
+	j, err := ckpt.Open()
+	if err != nil {
+		return err
+	}
+	defer j.Close()
+
+	reg := cli.NewRegistry()
+	j.SetRegistry(reg)
+	man := obs.NewManifest("memprof")
+	man.Platform = o.platform
+	man.Seed = o.seed
+	man.Args = os.Args[1:]
+
+	var events []trace.Event
+	rec := trace.NewRecorder()
+	if o.load != "" {
+		events, err = trace.LoadJSONL(o.load)
+		if err != nil {
+			return err
+		}
+		rec.Ingest(events)
+		man.Platform = ""
+		man.Notes = map[string]string{"source": o.load}
+		fmt.Fprintf(w, "loaded %d events from %s\n\n", len(events), o.load)
+	} else {
+		p := prof.Attach(rec)
+		cfg := campaign.Config{
+			Seed:     o.seed,
+			Context:  ctx,
+			Journal:  j,
+			Registry: reg,
+			Profiler: p,
+		}
+		if ckpt.Path != "" {
+			cfg.SpanStore = prof.NewSpanStore(ckpt.Path + ".spans")
+		}
+		xc, xerr := campaign.CrossCheck(cfg, o.platform)
+		if xerr != nil {
+			return xerr
+		}
+		events = p.Events()
+		fmt.Fprintf(w, "profiled overlap scenario on %s: %.6f simulated seconds, %d events\n\n",
+			o.platform, xc.SimSeconds, len(events))
+	}
+
+	// Telemetry flushes on success; the recorder holds the full profiled
+	// (or re-ingested) timeline for -trace.
+	defer func() {
+		ferr := cli.Finish(reg, rec, man)
+		if err == nil {
+			err = ferr
+		}
+	}()
+
+	if err := report(w, events, o); err != nil {
+		return err
+	}
+
+	if o.perfetto != "" {
+		f, err := os.Create(o.perfetto)
+		if err != nil {
+			return fmt.Errorf("writing -perfetto: %w", err)
+		}
+		if err := prof.WritePerfetto(f, events); err != nil {
+			f.Close()
+			return fmt.Errorf("writing -perfetto: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("writing -perfetto: %w", err)
+		}
+		fmt.Fprintf(w, "\nwrote Perfetto trace to %s (open in ui.perfetto.dev)\n", o.perfetto)
+	}
+	return nil
+}
+
+// report renders the three analyses on w.
+func report(w io.Writer, events []trace.Event, o options) error {
+	st, err := prof.BuildSpanTree(events)
+	if err != nil {
+		return err
+	}
+	steps := st.CriticalPath()
+	fmt.Fprintf(w, "== critical path (%d spans, makespan %.6f ms) ==\n", st.SpanCount(), st.Makespan*1e3)
+	io.WriteString(w, prof.FormatCriticalPath(steps))
+	fmt.Fprintf(w, "\n== critical-path attribution ==\n")
+	io.WriteString(w, prof.FormatAttribution(steps))
+
+	tl, err := prof.BuildTimeline(events)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== per-stream attribution (timeline integral vs engine average) ==\n")
+	io.WriteString(w, prof.FormatStreams(tl))
+	fmt.Fprintf(w, "\n== link utilization ==\n")
+	io.WriteString(w, prof.FormatUtilization(tl))
+	if top := tl.TopContended(o.top); len(top) > 0 {
+		fmt.Fprintf(w, "\n== top %d contended links ==\n", len(top))
+		for i, lu := range top {
+			fmt.Fprintf(w, "%d. machine %d %s: %.3f GB total (%.1f%% comm), peak %.2f GB/s\n",
+				i+1, lu.Machine, lu.Link, lu.TotalGB(), commShare(lu)*100, lu.Peak)
+		}
+	}
+	fmt.Fprintf(w, "\n== bandwidth shares ==\n")
+	io.WriteString(w, tl.ShareChart(o.width))
+	return nil
+}
+
+func commShare(lu prof.LinkUtil) float64 {
+	if t := lu.TotalGB(); t > 0 {
+		return lu.CommGB / t
+	}
+	return 0
+}

@@ -29,6 +29,7 @@ import (
 	"memcontention/internal/faults"
 	"memcontention/internal/netbench"
 	"memcontention/internal/obs"
+	"memcontention/internal/prof"
 	"memcontention/internal/sweep"
 	"memcontention/internal/topology"
 	"memcontention/internal/trace"
@@ -51,6 +52,14 @@ type Config struct {
 	Registry *obs.Registry
 	// Recorder, when set, receives trace events from the DES cross-check.
 	Recorder *trace.Recorder
+	// Profiler, when set, records causal spans from the DES cross-check
+	// (it supersedes Recorder as the trace sink for that unit).
+	Profiler *prof.Profiler
+	// SpanStore, when set with Profiler, persists each trace-producing
+	// unit's event slice under its journal key: a resumed campaign
+	// re-ingests the cached slice instead of re-running, so the stitched
+	// trace is byte-identical to an uninterrupted recording.
+	SpanStore *prof.SpanStore
 	// FaultPlan, when set, runs the DES cross-check under fault
 	// injection guarded by MPI resilience and a watchdog.
 	FaultPlan *faults.Plan
@@ -189,6 +198,19 @@ func CrossCheck(cfg Config, platform string) (*CrossCheckResult, error) {
 		if ok, err := cfg.Journal.Get(key, &cached); err != nil {
 			return nil, fmt.Errorf("campaign: journal entry %s: %w", key, err)
 		} else if ok {
+			// Stitch the cached unit's span file instead of re-running:
+			// the profiler re-ingests the slice and advances its span-id
+			// allocator past it, so later units never collide and the
+			// merged trace matches an uninterrupted run byte for byte.
+			if cfg.Profiler != nil && cfg.SpanStore != nil {
+				events, found, err := cfg.SpanStore.Load(key)
+				if err != nil {
+					return nil, err
+				}
+				if found {
+					cfg.Profiler.Ingest(events)
+				}
+			}
 			return &cached, nil
 		}
 	}
@@ -201,7 +223,12 @@ func CrossCheck(cfg Config, platform string) (*CrossCheckResult, error) {
 		return nil, err
 	}
 	cluster.WithRegistry(cfg.Registry)
-	if cfg.Recorder != nil {
+	eventsBefore := 0
+	switch {
+	case cfg.Profiler != nil:
+		cluster.WithProfiler(cfg.Profiler)
+		eventsBefore = cfg.Profiler.Recorder().EventCount()
+	case cfg.Recorder != nil:
 		cluster.WithObserver(cfg.Recorder)
 	}
 	if cfg.Context != nil {
@@ -222,7 +249,14 @@ func CrossCheck(cfg Config, platform string) (*CrossCheckResult, error) {
 	if cores < 1 {
 		cores = 1
 	}
-	rec := cfg.Recorder
+	var rec interface {
+		MarkAt(at float64, label string)
+	} = cfg.Recorder
+	if cfg.Profiler != nil {
+		rec = cfg.Profiler
+	} else if cfg.Recorder == nil {
+		rec = nil
+	}
 	secs, runErr := cluster.Run(1, func(ctx *memcontention.RankCtx) {
 		switch ctx.Rank() {
 		case 0:
@@ -267,6 +301,16 @@ func CrossCheck(cfg Config, platform string) (*CrossCheckResult, error) {
 		}
 		res.Error = runErr.Error()
 		res.SimSeconds = 0
+	}
+	// Persist this unit's slice of the trace before the journal commit:
+	// a kill between the two re-runs the unit on resume (overwriting the
+	// span file), never the reverse, so a journaled unit always has its
+	// spans and a resumed campaign stitches a byte-identical trace.
+	if cfg.Profiler != nil && cfg.SpanStore != nil {
+		unit := cfg.Profiler.Events()[eventsBefore:]
+		if err := cfg.SpanStore.Save(key, unit); err != nil {
+			return nil, err
+		}
 	}
 	if err := cfg.Journal.Record(key, res); err != nil {
 		return nil, fmt.Errorf("campaign: journal %s: %w", key, err)

@@ -13,7 +13,9 @@ import (
 	"memcontention/internal/bench"
 	"memcontention/internal/checkpoint"
 	"memcontention/internal/faults"
+	"memcontention/internal/prof"
 	"memcontention/internal/topology"
+	"memcontention/internal/trace"
 )
 
 // testNames keeps campaign tests fast: two platforms cover the sample and
@@ -292,5 +294,84 @@ func TestTestbedNames(t *testing.T) {
 	}
 	if names[0] != "henri" {
 		t.Fatalf("first platform = %q", names[0])
+	}
+}
+
+// TestCrossCheckSpanStitchResume: profiled cross-check units on two
+// platforms form one merged trace. Killing the campaign after the first
+// unit and resuming with a fresh profiler must stitch the cached unit's
+// span file and record the second live, producing a trace byte-identical
+// to an uninterrupted run — including span ids, which the resumed
+// profiler advances past the stitched slice.
+func TestCrossCheckSpanStitchResume(t *testing.T) {
+	dir := t.TempDir()
+	units := []string{"henri", "dahu"}
+	run := func(j *checkpoint.Journal, p *prof.Profiler, store *prof.SpanStore, n int) {
+		t.Helper()
+		for _, name := range units[:n] {
+			if _, err := CrossCheck(Config{Journal: j, Profiler: p, SpanStore: store}, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	encode := func(p *prof.Profiler) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := trace.WriteEventsJSONL(&buf, p.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	// Uninterrupted reference recording.
+	jRef, err := checkpoint.Open(filepath.Join(dir, "ref.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jRef.Close()
+	pRef := prof.New()
+	run(jRef, pRef, prof.NewSpanStore(filepath.Join(dir, "ref.journal.spans")), 2)
+	want := encode(pRef)
+	if len(want) == 0 {
+		t.Fatal("reference trace is empty")
+	}
+
+	// First attempt dies after one unit.
+	jpath := filepath.Join(dir, "run.journal")
+	store := prof.NewSpanStore(jpath + ".spans")
+	j1, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(j1, prof.New(), store, 1)
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: unit 1 stitches from the span store, unit 2 runs live.
+	j2, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := prof.New()
+	run(j2, p2, store, 2)
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(p2), want) {
+		t.Error("stitched trace differs from uninterrupted recording")
+	}
+
+	// A second resume hits both caches: everything stitched, nothing run,
+	// still byte-identical (no double-recording).
+	j3, err := checkpoint.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	p3 := prof.New()
+	run(j3, p3, store, 2)
+	if !bytes.Equal(encode(p3), want) {
+		t.Error("fully cached replay differs from uninterrupted recording")
 	}
 }

@@ -11,14 +11,19 @@ import (
 )
 
 // FlowObserver receives flow lifecycle notifications, in simulated-time
-// order. Implementations must not mutate the flow manager.
+// order. Implementations must not mutate the flow manager. The machine
+// argument is the flow manager's machine id (SetMachine): flow ids are
+// only unique per manager, so observers shared across a cluster key
+// flows by (machine, id).
 type FlowObserver interface {
 	// FlowStarted fires when a transfer begins.
-	FlowStarted(id int, stream memsys.Stream, bytes float64, at float64)
+	FlowStarted(machine, id int, stream memsys.Stream, bytes float64, at float64)
 	// FlowFinished fires when a transfer drains.
-	FlowFinished(id int, at float64, avgRate float64)
-	// RatesResolved fires after every re-solve with the new rates.
-	RatesResolved(at float64, rates map[int]float64)
+	FlowFinished(machine, id int, at float64, avgRate float64)
+	// RatesResolved fires after every re-solve with the rates actually
+	// applied to the flows — that is, after any RateLimiter has rescaled
+	// the solver's grants — keyed by flow id in GB/s.
+	RatesResolved(machine int, at float64, rates map[int]float64)
 }
 
 // Flows manages fluid data transfers over a memory system. All active
@@ -33,6 +38,13 @@ type Flows struct {
 	pending *Timer
 	// observer, when set, is notified of flow lifecycle events.
 	observer FlowObserver
+	// machine is the id reported to the observer and span recorder
+	// (SetMachine; 0 for single-machine simulations).
+	machine int
+	// spans, when set, receives one causal span per flow, attributed
+	// with the stream's kind, node and traversed links. Nil costs one
+	// comparison per flow.
+	spans obs.SpanRecorder
 	// limiter, when set, caps each stream's solved rate (fault
 	// injection: NIC stalls, core slowdowns). Nil costs nothing.
 	limiter RateLimiter
@@ -42,6 +54,19 @@ type Flows struct {
 
 // SetObserver installs a flow observer (nil removes it).
 func (f *Flows) SetObserver(o FlowObserver) { f.observer = o }
+
+// SetMachine sets the machine id reported with every observer and span
+// notification. simnet.NewMachine calls it; standalone flow managers
+// default to machine 0.
+func (f *Flows) SetMachine(id int) { f.machine = id }
+
+// Machine reports the flow manager's machine id.
+func (f *Flows) Machine() int { return f.machine }
+
+// SetSpanRecorder installs a causal span recorder: every flow started
+// afterwards opens a "flow" span on begin and closes it on completion
+// (nil removes it, leaving in-flight spans unclosed).
+func (f *Flows) SetSpanRecorder(sr obs.SpanRecorder) { f.spans = sr }
 
 // RateLimiter rescales a stream's solved rate: it receives the stream and
 // the solver-granted rate (GB/s) and returns the rate actually applied
@@ -100,8 +125,9 @@ type flow struct {
 	touched   float64 // sim time of the last progress integration
 	done      *Signal
 	finished  bool
-	completed float64 // sim time at completion
-	moved     float64 // bytes completed so far (for AvgRate)
+	completed float64    // sim time at completion
+	moved     float64    // bytes completed so far (for AvgRate)
+	span      obs.SpanID // causal span, 0 when spans are off
 }
 
 // Handle identifies an active or completed transfer.
@@ -124,6 +150,14 @@ func (f *Flows) System() *memsys.System { return f.sys }
 // from process or scheduler context. It panics on solver errors, which can
 // only arise from malformed streams — a programming error.
 func (f *Flows) Start(st memsys.Stream, size units.ByteSize) *Handle {
+	return f.StartWithParent(st, size, 0)
+}
+
+// StartWithParent begins a transfer like Start, additionally parenting
+// the flow's causal span under parent (0 = root) when a span recorder is
+// attached. simnet parents the two DMA flows of a message under its
+// transfer span; MPI parents compute flows under the compute phase.
+func (f *Flows) StartWithParent(st memsys.Stream, size units.ByteSize, parent obs.SpanID) *Handle {
 	f.nextID++
 	id := f.nextID
 	st.ID = id
@@ -138,7 +172,17 @@ func (f *Flows) Start(st memsys.Stream, size units.ByteSize) *Handle {
 	f.m.started.Inc()
 	f.m.activeFlows.Set(float64(len(f.active)))
 	if f.observer != nil {
-		f.observer.FlowStarted(id, st, fl.remaining, fl.started)
+		f.observer.FlowStarted(f.machine, id, st, fl.remaining, fl.started)
+	}
+	if f.spans != nil {
+		fl.span = f.spans.BeginSpan(parent, fmt.Sprintf("flow #%d", id), "flow", fl.started, obs.SpanAttrs{
+			Machine: f.machine,
+			Rank:    -1,
+			Flow:    id,
+			Stream:  st.Kind.String(),
+			Node:    int(st.Node),
+			Links:   f.sys.Links(st),
+		})
 	}
 	f.resolve()
 	return &Handle{fl: fl, f: f, id: id}
@@ -242,6 +286,13 @@ func (f *Flows) resolve() {
 	f.m.solverStreams.Add(float64(len(streams)))
 	nextAt := math.Inf(1)
 	now := f.sim.Now()
+	// applied collects the rates the flows actually run at — after the
+	// limiter, which can differ from the solver's grants under fault
+	// injection. Only built when someone is listening.
+	var applied map[int]float64
+	if f.observer != nil {
+		applied = make(map[int]float64, len(ids))
+	}
 	for _, id := range ids {
 		fl := f.active[id]
 		fl.rate = alloc.Rate(id)
@@ -251,6 +302,9 @@ func (f *Flows) resolve() {
 				fl.rate = 0
 			}
 		}
+		if applied != nil {
+			applied[id] = fl.rate
+		}
 		if fl.rate > 0 {
 			eta := now + fl.remaining/(fl.rate*units.BytesPerGB)
 			if eta < nextAt {
@@ -259,7 +313,7 @@ func (f *Flows) resolve() {
 		}
 	}
 	if f.observer != nil {
-		f.observer.RatesResolved(now, alloc.Rates)
+		f.observer.RatesResolved(f.machine, now, applied)
 	}
 	if math.IsInf(nextAt, 1) {
 		// No flow can progress; leave them parked. If nothing else
@@ -296,7 +350,10 @@ func (f *Flows) onCompletion() {
 			f.m.activeFlows.Set(float64(len(f.active)))
 			f.m.avgRate.Observe(avg)
 			if f.observer != nil {
-				f.observer.FlowFinished(id, fl.completed, avg)
+				f.observer.FlowFinished(f.machine, id, fl.completed, avg)
+			}
+			if f.spans != nil && fl.span != 0 {
+				f.spans.EndSpan(fl.span, fl.completed)
 			}
 			fl.done.Fire()
 		}

@@ -508,6 +508,23 @@ func (s *System) crossesLink(st Stream) bool {
 	}
 }
 
+// Links names the shared resources a stream's data path occupies, in
+// traversal order from the issuer to the memory: "pcie" (NIC DMA
+// streams, bounded by applyPCIeCap), "xlink" (the inter-socket link,
+// bounded by applyLinkCap) and "node<N>" (the memory controller of the
+// data's NUMA node). Profilers use it to attribute bandwidth shares per
+// contended resource.
+func (s *System) Links(st Stream) []string {
+	links := make([]string, 0, 3)
+	if st.Kind == KindComm {
+		links = append(links, "pcie")
+	}
+	if s.crossesLink(st) {
+		links = append(links, "xlink")
+	}
+	return append(links, fmt.Sprintf("node%d", st.Node))
+}
+
 // applyPCIeCap bounds the sum of NIC DMA streams by the PCIe capacity.
 func (s *System) applyPCIeCap(ordered []Stream, rates map[int]float64) {
 	var comm []int

@@ -16,6 +16,7 @@ import (
 	"memcontention/internal/engine"
 	"memcontention/internal/kernels"
 	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
 	"memcontention/internal/simnet"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
@@ -39,6 +40,9 @@ type World struct {
 	ranks  []*rankState
 	// res is the resilience policy (zero value: no timeouts/retries).
 	res Resilience
+	// spans, when set, records one causal span per rank, MPI operation,
+	// barrier and compute phase. Nil costs one comparison per operation.
+	spans obs.SpanRecorder
 	// barrier bookkeeping
 	barrierCount int
 	barrierSig   *engine.Signal
@@ -52,6 +56,8 @@ type World struct {
 type rankState struct {
 	id      int
 	machine *simnet.Machine
+	// span is the rank's root causal span (0 when spans are off).
+	span obs.SpanID
 	// posted holds receive requests waiting for a matching send;
 	// unexpected holds send envelopes waiting for a matching receive.
 	// Both are FIFO, as MPI matching requires.
@@ -109,6 +115,9 @@ type Request struct {
 	// owner is the rank that posted the request (for receive-queue
 	// removal on timeout).
 	owner *rankState
+	// span is the operation's causal span, ended at completion (0 when
+	// spans are off).
+	span obs.SpanID
 }
 
 // Test reports whether the request has completed.
@@ -124,6 +133,9 @@ func (r *Request) complete(st Status, err error) {
 	r.done = true
 	r.status = st
 	r.err = err
+	if r.span != 0 && r.world.spans != nil {
+		r.world.spans.EndSpan(r.span, r.world.sim.Now())
+	}
 	r.sig.Fire()
 }
 
@@ -149,6 +161,19 @@ func NewWorld(sim *engine.Sim, fabric *simnet.Fabric, machines []*simnet.Machine
 // Size reports the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
 
+// SetSpanRecorder installs a causal span recorder on the world (nil
+// removes it). Install it before Launch so every rank gets a root span.
+func (w *World) SetSpanRecorder(sr obs.SpanRecorder) { w.spans = sr }
+
+// beginOpSpan opens one operation span under the calling rank's root.
+func (c *Ctx) beginOpSpan(name, cat string, node topology.NodeID) obs.SpanID {
+	return c.world.spans.BeginSpan(c.rank.span, name, cat, c.world.sim.Now(), obs.SpanAttrs{
+		Machine: c.rank.machine.ID,
+		Rank:    c.rank.id,
+		Node:    int(node),
+	})
+}
+
 // Ctx is the per-rank handle passed to rank main functions.
 type Ctx struct {
 	world *World
@@ -162,7 +187,17 @@ func (w *World) Launch(main func(*Ctx)) {
 	for _, rs := range w.ranks {
 		rs := rs
 		w.sim.Spawn(fmt.Sprintf("rank-%d", rs.id), func(p *engine.Proc) {
+			if w.spans != nil {
+				rs.span = w.spans.BeginSpan(0, fmt.Sprintf("rank %d", rs.id), "rank", w.sim.Now(), obs.SpanAttrs{
+					Machine: rs.machine.ID,
+					Rank:    rs.id,
+					Node:    -1,
+				})
+			}
 			main(&Ctx{world: w, rank: rs, proc: p})
+			if w.spans != nil && rs.span != 0 {
+				w.spans.EndSpan(rs.span, w.sim.Now())
+			}
 		})
 	}
 }
@@ -198,6 +233,9 @@ func (c *Ctx) Isend(dst, tag int, size units.ByteSize, srcNode topology.NodeID, 
 		return nil, c.downError(fmt.Sprintf("Send(dst=%d, tag=%d)", dst, tag))
 	}
 	req := &Request{world: c.world, sig: c.world.sim.NewSignal(), tag: tag, size: size, peer: dst}
+	if c.world.spans != nil {
+		req.span = c.beginOpSpan(fmt.Sprintf("send→%d", dst), "mpi", srcNode)
+	}
 	env := &envelope{src: c.Rank(), tag: tag, size: size, srcNode: srcNode, payload: payload}
 	if size > EagerLimit {
 		env.sendReq = req
@@ -232,6 +270,9 @@ func (c *Ctx) Irecv(src, tag int, size units.ByteSize, dstNode topology.NodeID) 
 		world: c.world, sig: c.world.sim.NewSignal(),
 		isRecv: true, src: src, tag: tag, peer: src, dstNode: dstNode, size: size,
 		owner: c.rank,
+	}
+	if c.world.spans != nil {
+		req.span = c.beginOpSpan(fmt.Sprintf("recv←%s", rankName(src)), "mpi", dstNode)
 	}
 	// Try the unexpected queue first (FIFO matching).
 	for i, env := range c.rank.unexpected {
@@ -362,6 +403,13 @@ func (w *World) startTransfer(dst *rankState, env *envelope, req *Request) {
 		SrcNode: env.srcNode, DstNode: req.dstNode,
 		Size: env.size,
 	}
+	// The wire transfer is causally the send's; eager sends have already
+	// completed, so their data movement hangs off the receive instead.
+	if env.sendReq != nil && env.sendReq.span != 0 {
+		xfer.Parent = env.sendReq.span
+	} else {
+		xfer.Parent = req.span
+	}
 	finish := func(res simnet.Result, err error) {
 		recvErr, sendErr := err, err
 		if err != nil {
@@ -402,6 +450,11 @@ func (w *World) startTransfer(dst *rankState, env *envelope, req *Request) {
 // Barrier blocks until every rank has entered it.
 func (c *Ctx) Barrier() {
 	w := c.world
+	var span obs.SpanID
+	if w.spans != nil {
+		span = c.beginOpSpan("barrier", "mpi", -1)
+		defer func() { w.spans.EndSpan(span, w.sim.Now()) }()
+	}
 	w.barrierCount++
 	if w.barrierCount == w.Size() {
 		w.barrierCount = 0
@@ -427,16 +480,23 @@ func (c *Ctx) Compute(a kernels.Assignment, perCoreBytes units.ByteSize) (units.
 		return 0, fmt.Errorf("mpi: rank %d: %w", c.Rank(), err)
 	}
 	start := c.Now()
+	var span obs.SpanID
+	if c.world.spans != nil {
+		span = c.beginOpSpan("compute", "compute", -1)
+	}
 	handles := make([]*engine.Handle, len(streams))
 	for i, st := range streams {
 		st := st
-		handles[i] = m.Flows.Start(memsys.Stream{
+		handles[i] = m.Flows.StartWithParent(memsys.Stream{
 			Kind: memsys.KindCompute, Core: st.Core, Node: st.Node, Demand: st.Demand,
-		}, perCoreBytes)
+		}, perCoreBytes, span)
 	}
 	for _, h := range handles {
 		c.proc.SetWaitReason("Compute")
 		h.Wait(c.proc)
+	}
+	if span != 0 {
+		c.world.spans.EndSpan(span, c.Now())
 	}
 	elapsed := c.Now() - start
 	if elapsed <= 0 {

@@ -3,9 +3,16 @@ package obs
 import "time"
 
 // Timing is the result of a finished Span: how long the phase took on the
-// wall clock and in simulated (virtual) time.
+// wall clock and in simulated (virtual) time, plus the span's identity so
+// nested timings can be reassembled into a tree.
 type Timing struct {
 	Name string `json:"name"`
+	// ID and Parent locate the span in its tree. IDs are allocated
+	// sequentially within one root span's tree (the root is 1), so the
+	// same code path produces the same ids on every run. Parent is 0
+	// for roots.
+	ID     SpanID `json:"id"`
+	Parent SpanID `json:"parent,omitempty"`
 	// Wall is the elapsed wall-clock time in seconds.
 	Wall float64 `json:"wall_seconds"`
 	// Virtual is the elapsed simulated time in seconds (0 when the span
@@ -19,11 +26,20 @@ type Timing struct {
 // span-based accounting follows the same zero-cost-when-off contract as
 // the instruments.
 //
+// Spans nest: Child opens a sub-span whose Timing carries this span's id
+// as its parent, and ids are handed out sequentially from the root's
+// allocator — the identity scheme shared with internal/prof's causal
+// spans (obs.SpanID), so wall-clock phase timings and simulated causal
+// spans can be correlated in one report.
+//
 // Wall-clock durations are nondeterministic; they are only folded into a
 // registry when the caller explicitly routes them there with ObserveWall,
 // keeping metric exports byte-reproducible by default.
 type Span struct {
 	name      string
+	id        SpanID
+	parent    SpanID
+	seq       *SpanID // tree-wide id allocator, owned by the root
 	wallStart time.Time
 	virtClock func() float64
 	virtStart float64
@@ -31,9 +47,42 @@ type Span struct {
 	virtHist  *Histogram
 }
 
-// StartSpan begins a wall-clock span.
+// StartSpan begins a root wall-clock span (id 1 of a fresh tree).
 func StartSpan(name string) *Span {
-	return &Span{name: name, wallStart: time.Now()}
+	seq := SpanID(1)
+	return &Span{name: name, id: 1, seq: &seq, wallStart: time.Now()}
+}
+
+// Child begins a nested span under s, inheriting its virtual clock. The
+// child's id is the next id of s's tree, deterministic in call order.
+// A nil receiver returns a nil (inert) span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	*s.seq++
+	c := &Span{name: name, id: *s.seq, parent: s.id, seq: s.seq, wallStart: time.Now()}
+	if s.virtClock != nil {
+		c.virtClock = s.virtClock
+		c.virtStart = s.virtClock()
+	}
+	return c
+}
+
+// ID reports the span's id within its tree (0 for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID reports the parent span's id (0 for roots and nil spans).
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.parent
 }
 
 // WithVirtualClock attaches a simulated clock (e.g. engine.Sim.Now) read
@@ -71,7 +120,7 @@ func (s *Span) End() Timing {
 	if s == nil {
 		return Timing{}
 	}
-	t := Timing{Name: s.name, Wall: time.Since(s.wallStart).Seconds()}
+	t := Timing{Name: s.name, ID: s.id, Parent: s.parent, Wall: time.Since(s.wallStart).Seconds()}
 	if s.virtClock != nil {
 		t.Virtual = s.virtClock() - s.virtStart
 	}

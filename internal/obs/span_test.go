@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestNestedSpansDeterministic is the regression test for span nesting:
+// ids must be allocated purely by call order within a tree, parents must
+// be recorded, and the resulting Timings must marshal identically across
+// two identical runs (ignoring wall time, which is nondeterministic).
+func TestNestedSpansDeterministic(t *testing.T) {
+	build := func() []Timing {
+		virtual := 0.0
+		clock := func() float64 { return virtual }
+		root := StartSpan("run").WithVirtualClock(clock)
+		calib := root.Child("calibrate")
+		virtual = 1.5
+		fitA := calib.Child("fit-alpha")
+		virtual = 2.0
+		tA := fitA.End()
+		tCalib := calib.End()
+		sweep := root.Child("sweep")
+		virtual = 3.25
+		tSweep := sweep.End()
+		tRoot := root.End()
+		return []Timing{tRoot, tCalib, tA, tSweep}
+	}
+
+	a, b := build(), build()
+	for i := range a {
+		a[i].Wall, b[i].Wall = 0, 0 // wall time is nondeterministic by design
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatalf("nested span exports differ across identical runs:\n%s\nvs\n%s", ja, jb)
+	}
+
+	want := []struct {
+		name    string
+		id      SpanID
+		parent  SpanID
+		virtual float64
+	}{
+		{"run", 1, 0, 3.25},
+		{"calibrate", 2, 1, 2.0},
+		{"fit-alpha", 3, 2, 0.5},
+		{"sweep", 4, 1, 1.25},
+	}
+	for i, w := range want {
+		got := a[i]
+		if got.Name != w.name || got.ID != w.id || got.Parent != w.parent || got.Virtual != w.virtual {
+			t.Errorf("timing[%d] = {%s id=%d parent=%d virt=%g}, want {%s id=%d parent=%d virt=%g}",
+				i, got.Name, got.ID, got.Parent, got.Virtual, w.name, w.id, w.parent, w.virtual)
+		}
+	}
+}
+
+// TestNilSpanChild: children of nil spans stay inert.
+func TestNilSpanChild(t *testing.T) {
+	var s *Span
+	c := s.Child("sub")
+	if c != nil {
+		t.Fatalf("nil.Child() = %v, want nil", c)
+	}
+	if got := c.End(); got != (Timing{}) {
+		t.Errorf("nil child End() = %+v, want zero", got)
+	}
+	if c.ID() != 0 || c.ParentID() != 0 {
+		t.Errorf("nil span ids = (%d,%d), want (0,0)", c.ID(), c.ParentID())
+	}
+}

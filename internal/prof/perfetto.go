@@ -1,0 +1,221 @@
+package prof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"memcontention/internal/obs"
+	"memcontention/internal/trace"
+)
+
+// pfEvent is one Chrome trace-event (the JSON format Perfetto loads).
+// Field order is fixed by the struct, so exports are byte-deterministic
+// and golden-testable.
+type pfEvent struct {
+	Name string   `json:"name,omitempty"`
+	Cat  string   `json:"cat,omitempty"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	S    string   `json:"s,omitempty"`
+	Args *pfArgs  `json:"args,omitempty"`
+}
+
+// pfArgs carries span attribution (and counter values) into the trace
+// viewer's args pane.
+type pfArgs struct {
+	Name    string   `json:"name,omitempty"` // metadata events
+	Span    int64    `json:"span,omitempty"`
+	Rank    *int     `json:"rank,omitempty"`
+	Node    *int     `json:"node,omitempty"`
+	Flow    int      `json:"flow,omitempty"`
+	Stream  string   `json:"stream,omitempty"`
+	Links   []string `json:"links,omitempty"`
+	Compute *float64 `json:"compute,omitempty"` // counter events
+	Comm    *float64 `json:"comm,omitempty"`
+}
+
+// lane places a span inside its process track. Lanes hold a stack of
+// active intervals: a span fits a lane when it nests inside the lane's
+// innermost open interval (or the lane is free), which is exactly the
+// containment Perfetto needs to render complete ("X") events as a flame.
+type lane struct {
+	stack []float64 // open interval end times, innermost last
+	first string    // name of the first span placed, used as thread name
+}
+
+// laneSet assigns spans of one pid to lanes greedily.
+type laneSet struct {
+	lanes []*lane
+}
+
+func (ls *laneSet) place(begin, end float64, name string) int {
+	for i, l := range ls.lanes {
+		for len(l.stack) > 0 && l.stack[len(l.stack)-1] <= begin+cpEps {
+			l.stack = l.stack[:len(l.stack)-1]
+		}
+		if len(l.stack) == 0 || end <= l.stack[len(l.stack)-1]+cpEps {
+			l.stack = append(l.stack, end)
+			return i
+		}
+	}
+	ls.lanes = append(ls.lanes, &lane{stack: []float64{end}, first: name})
+	return len(ls.lanes) - 1
+}
+
+// WritePerfetto exports a recorded event stream as Chrome trace-event
+// JSON, loadable directly in ui.perfetto.dev or chrome://tracing. Spans
+// become complete ("X") slices grouped per machine (pid) in greedily
+// packed nesting lanes (tid); rate changes become per-machine "C"
+// counters split compute vs comm; marks, faults and checkpoints become
+// global instants. Timestamps are microseconds of simulated time. The
+// output is deterministic: one event per line, fixed field order.
+func WritePerfetto(w io.Writer, events []trace.Event) error {
+	st, err := BuildSpanTree(events)
+	if err != nil {
+		return err
+	}
+
+	// Flow kind lookup for the bandwidth counters.
+	kinds := make(map[flowKey]string)
+	for i := range events {
+		if events[i].Kind == trace.FlowStart {
+			kinds[flowKey{events[i].Machine, events[i].FlowID}] = events[i].Stream.Kind.String()
+		}
+	}
+
+	// Assign lanes per pid, walking spans in begin order (the event order).
+	type placed struct {
+		n   *spanNode
+		tid int
+	}
+	lanes := make(map[int]*laneSet)
+	spanLane := make(map[obs.SpanID]placed)
+	pids := make(map[int]bool)
+	var spanOrder []obs.SpanID
+	for i := range events {
+		if events[i].Kind != trace.SpanBegin {
+			continue
+		}
+		n := st.nodes[events[i].Span]
+		pid := n.attrs.Machine
+		pids[pid] = true
+		ls := lanes[pid]
+		if ls == nil {
+			ls = &laneSet{}
+			lanes[pid] = ls
+		}
+		tid := ls.place(n.begin, n.end, n.name) + 1 // tid 0 is the counter track
+		spanLane[n.id] = placed{n, tid}
+		spanOrder = append(spanOrder, n.id)
+	}
+
+	var out []pfEvent
+
+	// Metadata: name every process and lane, in sorted order.
+	sortedPids := make([]int, 0, len(pids))
+	for pid := range pids {
+		sortedPids = append(sortedPids, pid)
+	}
+	sort.Ints(sortedPids)
+	for _, pid := range sortedPids {
+		out = append(out, pfEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: &pfArgs{Name: fmt.Sprintf("machine %d", pid)},
+		})
+		for i, l := range lanes[pid].lanes {
+			out = append(out, pfEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+				Args: &pfArgs{Name: l.first},
+			})
+		}
+	}
+
+	// Span slices, in begin order.
+	for _, id := range spanOrder {
+		p := spanLane[id]
+		dur := (p.n.end - p.n.begin) * 1e6
+		args := &pfArgs{Span: int64(p.n.id), Stream: p.n.attrs.Stream, Links: p.n.attrs.Links, Flow: p.n.attrs.Flow}
+		if p.n.attrs.Rank >= 0 {
+			r := p.n.attrs.Rank
+			args.Rank = &r
+		}
+		if p.n.attrs.Node >= 0 {
+			nd := p.n.attrs.Node
+			args.Node = &nd
+		}
+		out = append(out, pfEvent{
+			Name: p.n.name, Cat: p.n.cat, Ph: "X",
+			Ts: p.n.begin * 1e6, Dur: &dur,
+			Pid: p.n.attrs.Machine, Tid: p.tid, Args: args,
+		})
+	}
+
+	// Counters and instants, in event order.
+	cur := make(map[int][]trace.FlowRate)
+	counter := func(machine int, at float64) pfEvent {
+		var comp, comm float64
+		for _, fr := range cur[machine] {
+			if kinds[flowKey{machine, fr.Flow}] == "comm" {
+				comm += fr.GBps
+			} else {
+				comp += fr.GBps
+			}
+		}
+		return pfEvent{
+			Name: "bandwidth (GB/s)", Ph: "C", Ts: at * 1e6, Pid: machine,
+			Args: &pfArgs{Compute: &comp, Comm: &comm},
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.RateChange:
+			cur[ev.Machine] = ev.Rates
+			out = append(out, counter(ev.Machine, ev.At))
+		case trace.FlowEnd:
+			cur[ev.Machine] = dropRate(cur[ev.Machine], ev.FlowID)
+			out = append(out, counter(ev.Machine, ev.At))
+		case trace.Instant:
+			pe := pfEvent{
+				Name: ev.Label, Cat: ev.Cat, Ph: "i",
+				Ts: ev.At * 1e6, Pid: ev.Attrs.Machine, S: "t",
+				Args: &pfArgs{Span: int64(ev.Span), Stream: ev.Attrs.Stream, Links: ev.Attrs.Links},
+			}
+			if p, ok := spanLane[ev.Span]; ok {
+				pe.Pid = p.n.attrs.Machine
+				pe.Tid = p.tid
+			}
+			out = append(out, pe)
+		case trace.Mark, trace.Fault, trace.Checkpoint:
+			out = append(out, pfEvent{
+				Name: ev.Label, Cat: ev.Kind.String(), Ph: "i",
+				Ts: ev.At * 1e6, S: "g",
+			})
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range out {
+		line, err := json.Marshal(&out[i])
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

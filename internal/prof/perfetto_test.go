@@ -1,0 +1,114 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPerfettoExport: the export must be valid Chrome trace-event JSON
+// with well-formed slices, counters and metadata.
+func TestPerfettoExport(t *testing.T) {
+	p, _ := profiledClusterRun(t, "henri")
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, p.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Errorf("X event %q without valid dur", ev.Name)
+			}
+			if ev.Tid < 1 {
+				t.Errorf("X event %q on counter track tid %d", ev.Name, ev.Tid)
+			}
+			pids[ev.Pid] = true
+		case "M", "C", "i":
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if counts["X"] < 8 {
+		t.Errorf("only %d slices exported", counts["X"])
+	}
+	if counts["C"] == 0 {
+		t.Error("no bandwidth counters exported")
+	}
+	if counts["M"] == 0 {
+		t.Error("no metadata exported")
+	}
+	if !pids[0] || !pids[1] {
+		t.Errorf("slices must span both machines, got pids %v", pids)
+	}
+	// Both machine tracks are named.
+	if !strings.Contains(buf.String(), `"name":"machine 0"`) ||
+		!strings.Contains(buf.String(), `"name":"machine 1"`) {
+		t.Error("process_name metadata missing")
+	}
+}
+
+// TestPerfettoLaneNesting: every slice on a lane must either nest inside
+// or be disjoint from every other slice on the same lane — the invariant
+// that makes the flame rendering correct.
+func TestPerfettoLaneNesting(t *testing.T) {
+	p, _ := profiledClusterRun(t, "henri")
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, p.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string   `json:"ph"`
+			Ts  float64  `json:"ts"`
+			Dur *float64 `json:"dur"`
+			Pid int      `json:"pid"`
+			Tid int      `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	type iv struct{ lo, hi float64 }
+	byLane := map[[2]int][]iv{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		byLane[[2]int{ev.Pid, ev.Tid}] = append(byLane[[2]int{ev.Pid, ev.Tid}], iv{ev.Ts, ev.Ts + *ev.Dur})
+	}
+	const eps = 1e-6 // µs
+	for lane, ivs := range byLane {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				disjoint := a.hi <= b.lo+eps || b.hi <= a.lo+eps
+				nested := (a.lo >= b.lo-eps && a.hi <= b.hi+eps) || (b.lo >= a.lo-eps && b.hi <= a.hi+eps)
+				if !disjoint && !nested {
+					t.Fatalf("lane %v: slices [%v,%v] and [%v,%v] partially overlap", lane, a.lo, a.hi, b.lo, b.hi)
+				}
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"memcontention/internal/engine"
 	"memcontention/internal/hwloc"
 	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
 )
@@ -83,7 +84,9 @@ func NewMachine(sim *engine.Sim, id int, plat *topology.Platform, prof *memsys.P
 	if err != nil {
 		return nil, fmt.Errorf("simnet: machine %d: %w", id, err)
 	}
-	return &Machine{ID: id, Sys: sys, Flows: engine.NewFlows(sim, sys), Topo: topo}, nil
+	flows := engine.NewFlows(sim, sys)
+	flows.SetMachine(id)
+	return &Machine{ID: id, Sys: sys, Flows: flows, Topo: topo}, nil
 }
 
 // Fabric is the interconnect between machines.
@@ -100,10 +103,18 @@ type Fabric struct {
 	// faults, when set, perturbs deliveries. Nil costs one comparison
 	// per transfer.
 	faults FaultModel
+	// spans, when set, wraps every message in a "transfer" causal span
+	// parented under Transfer.Parent (the MPI operation). Nil costs one
+	// comparison per transfer.
+	spans obs.SpanRecorder
 }
 
 // SetFaults installs a fault model on the fabric (nil removes it).
 func (f *Fabric) SetFaults(fm FaultModel) { f.faults = fm }
+
+// SetSpanRecorder installs a causal span recorder on the fabric (nil
+// removes it).
+func (f *Fabric) SetSpanRecorder(sr obs.SpanRecorder) { f.spans = sr }
 
 // MachineDown reports whether the fault layer considers machine id crashed
 // at the current simulated time (always false without a fault model).
@@ -148,6 +159,10 @@ type Transfer struct {
 	Src, Dst         *Machine
 	SrcNode, DstNode topology.NodeID
 	Size             units.ByteSize
+	// Parent is the causal span this transfer belongs to (the MPI
+	// operation that posted it; 0 for a root transfer). Only read when
+	// the fabric has a span recorder.
+	Parent obs.SpanID
 }
 
 // Result reports a completed transfer.
@@ -184,12 +199,18 @@ func (f *Fabric) DeliverAsync(t Transfer, done func(Result, error)) {
 	}
 	start := f.sim.Now()
 	f.nextXfer++
+	// The transfer span covers latency, faults and both DMA drains; fin
+	// closes it on every completion path, successful or not. span and fin
+	// are single-assignment so the closures below capture them by value —
+	// reassigning a captured variable would heap-allocate it on the
+	// span-free hot path.
+	span, fin := f.beginTransferSpan(t, start, done)
 	latency, wireCap := f.Latency, f.WireRate
 	if f.faults != nil {
 		for _, m := range []*Machine{t.Src, t.Dst} {
 			if down, since := f.faults.MachineDown(m.ID, start); down {
 				derr := &DownError{Machine: m.ID, Since: since}
-				f.sim.After(0, func() { done(Result{Start: start}, derr) })
+				f.sim.After(0, func() { fin(Result{Start: start}, derr) })
 				return
 			}
 		}
@@ -201,7 +222,7 @@ func (f *Fabric) DeliverAsync(t Transfer, done func(Result, error)) {
 			wireCap *= fault.WireFactor
 		}
 		if fault.Drop {
-			f.sim.After(latency, func() { done(Result{Start: start}, ErrMessageDropped) })
+			f.sim.After(latency, func() { fin(Result{Start: start}, ErrMessageDropped) })
 			return
 		}
 	}
@@ -220,25 +241,41 @@ func (f *Fabric) DeliverAsync(t Transfer, done func(Result, error)) {
 			if end > start {
 				res.AvgRate = units.RateFor(t.Size, units.Seconds(end-start))
 			}
-			done(res, nil)
+			fin(res, nil)
 		}
 		// Sender-side read stream (KindComm on the sender's system).
 		srcDemand := math.Min(wire, t.Src.Sys.CommDemand(t.SrcNode))
-		srcH := t.Src.Flows.Start(memsys.Stream{
+		srcH := t.Src.Flows.StartWithParent(memsys.Stream{
 			Kind:   memsys.KindComm,
 			Node:   t.SrcNode,
 			Demand: srcDemand,
-		}, t.Size)
+		}, t.Size, span)
 		// Receiver-side write stream.
 		dstDemand := math.Min(wire, t.Dst.Sys.CommDemand(t.DstNode))
-		dstH := t.Dst.Flows.Start(memsys.Stream{
+		dstH := t.Dst.Flows.StartWithParent(memsys.Stream{
 			Kind:   memsys.KindComm,
 			Node:   t.DstNode,
 			Demand: dstDemand,
-		}, t.Size)
+		}, t.Size, span)
 		waitHandle(f.sim, srcH, finish)
 		waitHandle(f.sim, dstH, finish)
 	})
+}
+
+// beginTransferSpan opens the causal span of one transfer and returns it
+// with the completion callback that closes it; with spans off it returns
+// done unchanged at zero cost.
+func (f *Fabric) beginTransferSpan(t Transfer, start float64, done func(Result, error)) (obs.SpanID, func(Result, error)) {
+	if f.spans == nil {
+		return 0, done
+	}
+	span := f.spans.BeginSpan(t.Parent,
+		fmt.Sprintf("xfer m%d:n%d→m%d:n%d", t.Src.ID, t.SrcNode, t.Dst.ID, t.DstNode),
+		"transfer", start, obs.SpanAttrs{Machine: t.Src.ID, Rank: -1, Node: -1, Stream: "comm"})
+	return span, func(r Result, err error) {
+		f.spans.EndSpan(span, f.sim.Now())
+		done(r, err)
+	}
 }
 
 // waitHandle invokes fn once the flow completes, via a watcher process.

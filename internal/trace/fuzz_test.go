@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSONL fuzzes the trace-file loader memprof uses. The invariants:
+// the reader never panics on arbitrary input, and any trace it accepts
+// canonicalises — re-encoding the decoded events yields output that reads
+// back to the same event count and re-encodes byte-identically (the
+// stitching guarantee).
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte(`{"kind":"mark","at":0,"label":"hello"}` + "\n"))
+	f.Add([]byte(`{"kind":"flow-start","at":0.1,"machine":1,"flow":1,"stream":"comm","node":0,"bytes":1048576}` + "\n" +
+		`{"kind":"rate-change","at":0.1,"machine":1,"active":1,"rates":[{"flow":1,"gbps":10.5}]}` + "\n" +
+		`{"kind":"flow-end","at":0.5,"machine":1,"flow":1,"rate":9.75}` + "\n"))
+	f.Add([]byte(`{"kind":"span-begin","at":0,"span":1,"label":"rank 0","cat":"rank","rank":0}` + "\n" +
+		`{"kind":"instant","at":0.2,"span":1,"label":"limited","cat":"flow"}` + "\n" +
+		`{"kind":"span-end","at":0.7,"span":1}` + "\n"))
+	f.Add([]byte(`{"kind":"flow-start","at":1e308,"flow":-1,"stream":"compute","node":-5,"bytes":-1,"demand":0.5}`))
+	f.Add([]byte("\n\n{\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var canon bytes.Buffer
+		if err := WriteEventsJSONL(&canon, events); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		again, err := ReadJSONL(bytes.NewReader(canon.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, canon.String())
+		}
+		if len(again) != len(events) {
+			t.Fatalf("canonical re-read changed event count: %d vs %d", len(again), len(events))
+		}
+		var second bytes.Buffer
+		if err := WriteEventsJSONL(&second, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical form not a fixed point:\n%s\nvs\n%s", canon.String(), second.String())
+		}
+	})
+}

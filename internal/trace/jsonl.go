@@ -4,23 +4,111 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+
+	"memcontention/internal/obs"
 )
 
 // jsonlEvent is the machine-readable schema of one timeline event: one
 // JSON object per line, fields present only when meaningful for the kind
 // (see docs/observability.md for the schema table). Pointer fields keep
 // zero values (flow 0, node 0, rate 0) distinguishable from absence, so
-// the encoding is unambiguous and byte-stable across runs.
+// the encoding is unambiguous and byte-stable across runs. Rank and node
+// on span kinds use presence for "scoped" (rank 0 and node 0 are real),
+// so the reader restores the -1 "not scoped" sentinel when absent.
 type jsonlEvent struct {
-	Kind   string   `json:"kind"`
-	At     float64  `json:"at"`
-	Flow   *int     `json:"flow,omitempty"`
-	Stream string   `json:"stream,omitempty"`
-	Node   *int     `json:"node,omitempty"`
-	Bytes  *float64 `json:"bytes,omitempty"`
-	Rate   *float64 `json:"rate,omitempty"`
-	Active *int     `json:"active,omitempty"`
-	Label  string   `json:"label,omitempty"`
+	Kind    string     `json:"kind"`
+	At      float64    `json:"at"`
+	Machine *int       `json:"machine,omitempty"`
+	Flow    *int       `json:"flow,omitempty"`
+	Stream  string     `json:"stream,omitempty"`
+	Node    *int       `json:"node,omitempty"`
+	Bytes   *float64   `json:"bytes,omitempty"`
+	Demand  *float64   `json:"demand,omitempty"`
+	Rate    *float64   `json:"rate,omitempty"`
+	Active  *int       `json:"active,omitempty"`
+	Rates   []FlowRate `json:"rates,omitempty"`
+	Span    *int64     `json:"span,omitempty"`
+	Parent  *int64     `json:"parent,omitempty"`
+	Cat     string     `json:"cat,omitempty"`
+	Rank    *int       `json:"rank,omitempty"`
+	Links   []string   `json:"links,omitempty"`
+	Label   string     `json:"label,omitempty"`
+}
+
+// encode maps one Event to its wire form.
+func encode(ev *Event) jsonlEvent {
+	je := jsonlEvent{Kind: ev.Kind.String(), At: ev.At}
+	machine := func(m int) {
+		if m != 0 {
+			v := m
+			je.Machine = &v
+		}
+	}
+	switch ev.Kind {
+	case FlowStart:
+		machine(ev.Machine)
+		flow, node, bytes := ev.FlowID, int(ev.Stream.Node), ev.Bytes
+		je.Flow, je.Node, je.Bytes = &flow, &node, &bytes
+		je.Stream = ev.Stream.Kind.String()
+		if ev.Stream.Demand != 0 {
+			demand := ev.Stream.Demand
+			je.Demand = &demand
+		}
+	case FlowEnd:
+		machine(ev.Machine)
+		flow, rate := ev.FlowID, ev.AvgRate
+		je.Flow, je.Rate = &flow, &rate
+	case RateChange:
+		machine(ev.Machine)
+		active := ev.ActiveFlows
+		je.Active = &active
+		je.Rates = ev.Rates
+	case Mark, Fault, Checkpoint:
+		je.Label = ev.Label
+	case SpanBegin, Instant:
+		machine(ev.Attrs.Machine)
+		if ev.Span != 0 {
+			span := int64(ev.Span)
+			je.Span = &span
+		}
+		if ev.Parent != 0 {
+			parent := int64(ev.Parent)
+			je.Parent = &parent
+		}
+		je.Label, je.Cat = ev.Label, ev.Cat
+		if ev.Attrs.Rank >= 0 {
+			rank := ev.Attrs.Rank
+			je.Rank = &rank
+		}
+		if ev.Attrs.Node >= 0 {
+			node := ev.Attrs.Node
+			je.Node = &node
+		}
+		if ev.Attrs.Flow > 0 {
+			flow := ev.Attrs.Flow
+			je.Flow = &flow
+		}
+		je.Stream = ev.Attrs.Stream
+		je.Links = ev.Attrs.Links
+	case SpanEnd:
+		span := int64(ev.Span)
+		je.Span = &span
+	}
+	return je
+}
+
+// WriteEventsJSONL streams events as JSON Lines, one per line, in slice
+// order. The encoding is deterministic and round-trips through ReadJSONL
+// byte-identically, which campaign trace stitching relies on.
+func WriteEventsJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(encode(&events[i])); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // WriteJSONL streams the timeline as JSON Lines, one event per line in
@@ -28,28 +116,23 @@ type jsonlEvent struct {
 // with the same seed produce byte-identical traces, so traces can be
 // diffed across runs. Line count equals EventCount.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := range r.events {
-		ev := &r.events[i]
-		je := jsonlEvent{Kind: ev.Kind.String(), At: ev.At}
-		switch ev.Kind {
-		case FlowStart:
-			flow, node, bytes := ev.FlowID, int(ev.Stream.Node), ev.Bytes
-			je.Flow, je.Node, je.Bytes = &flow, &node, &bytes
-			je.Stream = ev.Stream.Kind.String()
-		case FlowEnd:
-			flow, rate := ev.FlowID, ev.AvgRate
-			je.Flow, je.Rate = &flow, &rate
-		case RateChange:
-			active := ev.ActiveFlows
-			je.Active = &active
-		case Mark, Fault, Checkpoint:
-			je.Label = ev.Label
-		}
-		if err := enc.Encode(je); err != nil {
-			return err
-		}
+	return WriteEventsJSONL(w, r.events)
+}
+
+// spanAttrs reassembles the attribution of a decoded span event.
+func (je *jsonlEvent) spanAttrs() obs.SpanAttrs {
+	attrs := obs.SpanAttrs{Rank: -1, Node: -1, Stream: je.Stream, Links: je.Links}
+	if je.Machine != nil {
+		attrs.Machine = *je.Machine
 	}
-	return bw.Flush()
+	if je.Rank != nil {
+		attrs.Rank = *je.Rank
+	}
+	if je.Node != nil {
+		attrs.Node = *je.Node
+	}
+	if je.Flow != nil {
+		attrs.Flow = *je.Flow
+	}
+	return attrs
 }

@@ -15,8 +15,8 @@ import (
 func TestZeroValueRecorderMarkFirst(t *testing.T) {
 	var rec Recorder // zero value, not NewRecorder
 	rec.MarkAt(0, "before anything")
-	rec.FlowStarted(1, memsys.Stream{Kind: memsys.KindComm, Node: 0}, 1024, 0)
-	rec.FlowFinished(1, 0.5, 2.0)
+	rec.FlowStarted(0, 1, memsys.Stream{Kind: memsys.KindComm, Node: 0}, 1024, 0)
+	rec.FlowFinished(0, 1, 0.5, 2.0)
 	if got := rec.EventCount(); got != 3 {
 		t.Fatalf("events = %d, want 3", got)
 	}

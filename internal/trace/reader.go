@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
+	"memcontention/internal/topology"
+)
+
+// maxLineBytes bounds one JSONL line; a longer line means a corrupt or
+// hostile file, not a trace.
+const maxLineBytes = 1 << 20
+
+// kindFromString is the inverse of EventKind.String for wire decoding.
+func kindFromString(s string) (EventKind, bool) {
+	switch s {
+	case "flow-start":
+		return FlowStart, true
+	case "flow-end":
+		return FlowEnd, true
+	case "rate-change":
+		return RateChange, true
+	case "mark":
+		return Mark, true
+	case "fault":
+		return Fault, true
+	case "checkpoint":
+		return Checkpoint, true
+	case "span-begin":
+		return SpanBegin, true
+	case "span-end":
+		return SpanEnd, true
+	case "instant":
+		return Instant, true
+	default:
+		return 0, false
+	}
+}
+
+// streamKindFromString is the inverse of memsys.StreamKind.String.
+func streamKindFromString(s string) (memsys.StreamKind, bool) {
+	switch s {
+	case "compute":
+		return memsys.KindCompute, true
+	case "comm":
+		return memsys.KindComm, true
+	default:
+		return 0, false
+	}
+}
+
+// ReadJSONL parses a JSONL trace back into events. It is the exact
+// inverse of WriteEventsJSONL: writing the returned slice reproduces the
+// input byte for byte, so loaded traces can be re-exported, stitched and
+// diffed losslessly. Blank lines are skipped; anything else malformed
+// (bad JSON, unknown kinds, non-finite numbers, oversized lines) is an
+// error naming the offending line.
+func ReadJSONL(rd io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := decodeLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: line %d: %w", lineNo+1, err)
+	}
+	return events, nil
+}
+
+// LoadJSONL reads a JSONL trace file.
+func LoadJSONL(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
+
+// decodeLine parses one JSONL line into an Event.
+func decodeLine(line []byte) (Event, error) {
+	var je jsonlEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, err
+	}
+	kind, ok := kindFromString(je.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", je.Kind)
+	}
+	if !isFinite(je.At) {
+		return Event{}, fmt.Errorf("non-finite timestamp %v", je.At)
+	}
+	ev := Event{At: je.At, Kind: kind}
+	if je.Machine != nil && kind != SpanBegin && kind != Instant {
+		ev.Machine = *je.Machine
+	}
+	switch kind {
+	case FlowStart:
+		if je.Flow == nil || je.Node == nil || je.Bytes == nil {
+			return Event{}, fmt.Errorf("flow-start missing flow/node/bytes")
+		}
+		sk, ok := streamKindFromString(je.Stream)
+		if !ok {
+			return Event{}, fmt.Errorf("unknown stream kind %q", je.Stream)
+		}
+		if !isFinite(*je.Bytes) {
+			return Event{}, fmt.Errorf("non-finite bytes %v", *je.Bytes)
+		}
+		ev.FlowID = *je.Flow
+		ev.Bytes = *je.Bytes
+		ev.Stream = memsys.Stream{ID: *je.Flow, Kind: sk, Node: topology.NodeID(*je.Node)}
+		if je.Demand != nil {
+			if !isFinite(*je.Demand) {
+				return Event{}, fmt.Errorf("non-finite demand %v", *je.Demand)
+			}
+			ev.Stream.Demand = *je.Demand
+		}
+	case FlowEnd:
+		if je.Flow == nil || je.Rate == nil {
+			return Event{}, fmt.Errorf("flow-end missing flow/rate")
+		}
+		if !isFinite(*je.Rate) {
+			return Event{}, fmt.Errorf("non-finite rate %v", *je.Rate)
+		}
+		ev.FlowID, ev.AvgRate = *je.Flow, *je.Rate
+	case RateChange:
+		if je.Active == nil {
+			return Event{}, fmt.Errorf("rate-change missing active")
+		}
+		ev.ActiveFlows = *je.Active
+		for _, fr := range je.Rates {
+			if !isFinite(fr.GBps) {
+				return Event{}, fmt.Errorf("non-finite flow rate %v", fr.GBps)
+			}
+		}
+		ev.Rates = je.Rates
+	case Mark, Fault, Checkpoint:
+		ev.Label = je.Label
+	case SpanBegin, Instant:
+		if kind == SpanBegin && (je.Span == nil || *je.Span == 0) {
+			return Event{}, fmt.Errorf("span-begin missing span id")
+		}
+		if je.Span != nil {
+			ev.Span = obs.SpanID(*je.Span)
+		}
+		if je.Parent != nil {
+			ev.Parent = obs.SpanID(*je.Parent)
+		}
+		ev.Label, ev.Cat = je.Label, je.Cat
+		ev.Attrs = je.spanAttrs()
+	case SpanEnd:
+		if je.Span == nil || *je.Span == 0 {
+			return Event{}, fmt.Errorf("span-end missing span id")
+		}
+		ev.Span = obs.SpanID(*je.Span)
+	}
+	return ev, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

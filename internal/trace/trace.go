@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
 	"memcontention/internal/units"
 )
 
@@ -34,6 +35,14 @@ const (
 	// Checkpoint marks a graceful interruption: the run stopped here with
 	// all completed units journaled, ready to be resumed.
 	Checkpoint
+	// SpanBegin opens a causal span (an MPI operation, a fabric transfer,
+	// a memory flow, a compute phase) recorded by internal/prof.
+	SpanBegin
+	// SpanEnd closes a causal span.
+	SpanEnd
+	// Instant is a point-in-time profiler annotation carrying resource
+	// attribution (unlike Mark, which is a bare label).
+	Instant
 )
 
 // String implements fmt.Stringer.
@@ -51,15 +60,37 @@ func (k EventKind) String() string {
 		return "fault"
 	case Checkpoint:
 		return "checkpoint"
+	case SpanBegin:
+		return "span-begin"
+	case SpanEnd:
+		return "span-end"
+	case Instant:
+		return "instant"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
+}
+
+// TruncatedLabel is the Mark label recorded when MaxEvents drops events:
+// analyses must refuse to attribute bandwidth on a truncated timeline.
+const TruncatedLabel = "truncated"
+
+// FlowRate is one flow's solver-granted (and limiter-applied) rate at a
+// RateChange, in GB/s. Rate lists are sorted by flow id so encodings are
+// deterministic.
+type FlowRate struct {
+	Flow int     `json:"flow"`
+	GBps float64 `json:"gbps"`
 }
 
 // Event is one timeline entry.
 type Event struct {
 	At   float64 // simulated seconds
 	Kind EventKind
+	// Machine is the simulated machine the event belongs to for flow and
+	// rate kinds (0 for single-machine runs; span kinds carry theirs in
+	// Attrs.Machine).
+	Machine int
 	// FlowID identifies the flow for FlowStart/FlowEnd.
 	FlowID int
 	// Stream describes the flow (FlowStart only).
@@ -68,11 +99,31 @@ type Event struct {
 	Bytes float64
 	// AvgRate is the lifetime average rate (FlowEnd), GB/s.
 	AvgRate float64
-	// Label is the Mark annotation.
+	// Label is the Mark/Fault/Checkpoint annotation, and the span name
+	// for SpanBegin/Instant.
 	Label string
 	// ActiveRates is the number of concurrently active flows at a
 	// RateChange.
 	ActiveFlows int
+	// Rates are the applied per-flow rates at a RateChange, sorted by
+	// flow id (empty when the producer does not report them).
+	Rates []FlowRate
+	// Span identifies the causal span (SpanBegin/SpanEnd; the owning
+	// span for Instant, 0 when none).
+	Span obs.SpanID
+	// Parent is the enclosing span (SpanBegin; 0 for roots).
+	Parent obs.SpanID
+	// Cat is the span category ("mpi", "transfer", "flow", "compute",
+	// "rank", ...) for SpanBegin/Instant.
+	Cat string
+	// Attrs is the resource attribution (SpanBegin/Instant).
+	Attrs obs.SpanAttrs
+}
+
+// flowKey identifies one flow across the cluster: flow ids are allocated
+// per machine, so the pair is the unique identity.
+type flowKey struct {
+	machine, id int
 }
 
 // flowRecord aggregates one flow's life.
@@ -91,65 +142,130 @@ type flowRecord struct {
 // engine is cooperative, so this is never needed.
 type Recorder struct {
 	events []Event
-	flows  map[int]*flowRecord
+	flows  map[flowKey]*flowRecord
 	// MaxEvents bounds memory (0 = unbounded); once exceeded, further
 	// RateChange events are dropped (lifecycle events are always kept).
+	// The first drop appends one Mark event labelled TruncatedLabel and
+	// sets Truncated, so downstream analyses can refuse incomplete
+	// timelines instead of silently computing on them.
 	MaxEvents int
+	truncated bool
+	// dropped counts events lost to MaxEvents (nil until SetRegistry).
+	dropped *obs.Counter
 }
 
 // NewRecorder creates an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{flows: make(map[int]*flowRecord)}
+	return &Recorder{flows: make(map[flowKey]*flowRecord)}
 }
+
+// SetRegistry registers the recorder's instruments in reg: the
+// memcontention_trace_dropped_total counter tracks events lost to the
+// MaxEvents bound. A nil registry detaches.
+func (r *Recorder) SetRegistry(reg *obs.Registry) {
+	r.dropped = reg.Counter("memcontention_trace_dropped_total", "Trace events dropped by the Recorder's MaxEvents bound.", nil)
+}
+
+// Truncated reports whether the MaxEvents bound has dropped any events:
+// a truncated timeline must not be used for bandwidth attribution or
+// critical-path analysis.
+func (r *Recorder) Truncated() bool { return r.truncated }
 
 // ensureFlows lazily allocates the flow map, keeping the zero-value
 // Recorder usable.
 func (r *Recorder) ensureFlows() {
 	if r.flows == nil {
-		r.flows = make(map[int]*flowRecord)
+		r.flows = make(map[flowKey]*flowRecord)
+	}
+}
+
+// Append records one event, maintaining the per-flow bookkeeping and the
+// MaxEvents bound. It is the single ingestion point: the FlowObserver
+// methods, the profiler and trace stitching all funnel through it, so a
+// replayed event stream reconstructs the same recorder state as the
+// original run.
+func (r *Recorder) Append(ev Event) {
+	switch ev.Kind {
+	case FlowStart:
+		r.ensureFlows()
+		r.flows[flowKey{ev.Machine, ev.FlowID}] = &flowRecord{stream: ev.Stream, bytes: ev.Bytes, start: ev.At}
+	case FlowEnd:
+		if fr := r.flows[flowKey{ev.Machine, ev.FlowID}]; fr != nil {
+			fr.end, fr.finished, fr.avgRate = ev.At, true, ev.AvgRate
+		}
+	case RateChange:
+		if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+			r.drop(ev.At)
+			return
+		}
+	}
+	r.events = append(r.events, ev)
+}
+
+// Ingest replays a recorded event stream through Append, e.g. to stitch
+// per-unit span files back into one recorder on campaign resume.
+func (r *Recorder) Ingest(events []Event) {
+	for _, ev := range events {
+		r.Append(ev)
+	}
+}
+
+// drop accounts one event lost to MaxEvents, marking the timeline
+// truncated on the first loss.
+func (r *Recorder) drop(at float64) {
+	r.dropped.Inc()
+	if !r.truncated {
+		r.truncated = true
+		r.events = append(r.events, Event{At: at, Kind: Mark, Label: TruncatedLabel})
 	}
 }
 
 // FlowStarted implements engine.FlowObserver.
-func (r *Recorder) FlowStarted(id int, stream memsys.Stream, bytes, at float64) {
-	r.ensureFlows()
-	r.flows[id] = &flowRecord{stream: stream, bytes: bytes, start: at}
-	r.events = append(r.events, Event{At: at, Kind: FlowStart, FlowID: id, Stream: stream, Bytes: bytes})
+func (r *Recorder) FlowStarted(machine, id int, stream memsys.Stream, bytes, at float64) {
+	r.Append(Event{At: at, Kind: FlowStart, Machine: machine, FlowID: id, Stream: stream, Bytes: bytes})
 }
 
 // FlowFinished implements engine.FlowObserver.
-func (r *Recorder) FlowFinished(id int, at, avgRate float64) {
-	if fr := r.flows[id]; fr != nil {
-		fr.end, fr.finished, fr.avgRate = at, true, avgRate
-	}
-	r.events = append(r.events, Event{At: at, Kind: FlowEnd, FlowID: id, AvgRate: avgRate})
+func (r *Recorder) FlowFinished(machine, id int, at, avgRate float64) {
+	r.Append(Event{At: at, Kind: FlowEnd, Machine: machine, FlowID: id, AvgRate: avgRate})
 }
 
-// RatesResolved implements engine.FlowObserver.
-func (r *Recorder) RatesResolved(at float64, rates map[int]float64) {
+// RatesResolved implements engine.FlowObserver. The rates are the
+// limiter-applied per-flow rates (GB/s), recorded sorted by flow id so
+// the timeline is deterministic.
+func (r *Recorder) RatesResolved(machine int, at float64, rates map[int]float64) {
 	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
+		r.drop(at) // don't build the rate list for a dropped event
 		return
 	}
-	r.events = append(r.events, Event{At: at, Kind: RateChange, ActiveFlows: len(rates)})
+	ev := Event{At: at, Kind: RateChange, Machine: machine, ActiveFlows: len(rates)}
+	if len(rates) > 0 {
+		ev.Rates = make([]FlowRate, 0, len(rates))
+		for id, gbps := range rates {
+			ev.Rates = append(ev.Rates, FlowRate{Flow: id, GBps: gbps})
+		}
+		sort.Slice(ev.Rates, func(i, j int) bool { return ev.Rates[i].Flow < ev.Rates[j].Flow })
+	}
+	r.Append(ev)
 }
 
 // MarkAt adds a user annotation at the given simulated time.
 func (r *Recorder) MarkAt(at float64, label string) {
-	r.events = append(r.events, Event{At: at, Kind: Mark, Label: label})
+	r.Append(Event{At: at, Kind: Mark, Label: label})
 }
 
 // CheckpointAt records a graceful-interruption marker at the given
 // simulated time: everything before it is journaled and a resumed run
 // will pick up exactly here.
 func (r *Recorder) CheckpointAt(at float64, label string) {
-	r.events = append(r.events, Event{At: at, Kind: Checkpoint, Label: label})
+	r.Append(Event{At: at, Kind: Checkpoint, Label: label})
 }
 
 // FaultAt records a fault-injection event at the given simulated time.
 // It implements the faults.Marker interface, so a Recorder attached to a
 // cluster also captures the fault timeline.
 func (r *Recorder) FaultAt(at float64, label string) {
-	r.events = append(r.events, Event{At: at, Kind: Fault, Label: label})
+	r.Append(Event{At: at, Kind: Fault, Label: label})
 }
 
 // Events returns the recorded timeline in insertion order (which is
@@ -246,6 +362,12 @@ func (r *Recorder) Timeline(max int) string {
 			fmt.Fprintf(&b, "  %d active", ev.ActiveFlows)
 		case Mark, Fault, Checkpoint:
 			fmt.Fprintf(&b, "  %s", ev.Label)
+		case SpanBegin:
+			fmt.Fprintf(&b, "  [%d] %s (%s)", ev.Span, ev.Label, ev.Cat)
+		case SpanEnd:
+			fmt.Fprintf(&b, "  [%d]", ev.Span)
+		case Instant:
+			fmt.Fprintf(&b, "  %s", ev.Label)
 		}
 		b.WriteByte('\n')
 	}
@@ -262,16 +384,16 @@ func (r *Recorder) Gantt(width int) string {
 		width = 10
 	}
 	type bar struct {
-		id int
-		fr *flowRecord
+		key flowKey
+		fr  *flowRecord
 	}
 	var bars []bar
 	var tMax float64
-	for id, fr := range r.flows {
+	for key, fr := range r.flows {
 		if !fr.finished {
 			continue
 		}
-		bars = append(bars, bar{id, fr})
+		bars = append(bars, bar{key, fr})
 		if fr.end > tMax {
 			tMax = fr.end
 		}
@@ -283,7 +405,10 @@ func (r *Recorder) Gantt(width int) string {
 		if bars[i].fr.start != bars[j].fr.start {
 			return bars[i].fr.start < bars[j].fr.start
 		}
-		return bars[i].id < bars[j].id
+		if bars[i].key.machine != bars[j].key.machine {
+			return bars[i].key.machine < bars[j].key.machine
+		}
+		return bars[i].key.id < bars[j].key.id
 	})
 	var b strings.Builder
 	for _, bb := range bars {
@@ -297,7 +422,7 @@ func (r *Recorder) Gantt(width int) string {
 			glyph = '~'
 		}
 		fmt.Fprintf(&b, "#%-4d |%s%s%s| %s\n",
-			bb.id,
+			bb.key.id,
 			strings.Repeat(" ", startCol),
 			strings.Repeat(string(glyph), endCol-startCol),
 			strings.Repeat(" ", width-endCol),

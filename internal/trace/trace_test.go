@@ -7,6 +7,7 @@ import (
 
 	"memcontention/internal/engine"
 	"memcontention/internal/memsys"
+	"memcontention/internal/obs"
 	"memcontention/internal/topology"
 	"memcontention/internal/units"
 )
@@ -137,16 +138,42 @@ func TestGanttRendering(t *testing.T) {
 func TestMaxEventsBound(t *testing.T) {
 	rec := NewRecorder()
 	rec.MaxEvents = 3
-	for i := 0; i < 10; i++ {
-		rec.RatesResolved(float64(i), map[int]float64{1: 1})
+	if rec.Truncated() {
+		t.Error("fresh recorder must not be truncated")
 	}
-	if len(rec.Events()) != 3 {
+	for i := 0; i < 10; i++ {
+		rec.RatesResolved(0, float64(i), map[int]float64{1: 1})
+	}
+	// 3 rate changes plus exactly one "truncated" mark.
+	if len(rec.Events()) != 4 {
 		t.Errorf("MaxEvents not enforced: %d events", len(rec.Events()))
 	}
+	if !rec.Truncated() {
+		t.Error("dropping events must set Truncated")
+	}
+	last := rec.Events()[3]
+	if last.Kind != Mark || last.Label != TruncatedLabel || last.At != 3 {
+		t.Errorf("missing truncation marker, got %+v", last)
+	}
 	// Lifecycle events are always kept.
-	rec.FlowStarted(1, memsys.Stream{}, 10, 1)
-	if len(rec.Events()) != 4 {
+	rec.FlowStarted(0, 1, memsys.Stream{}, 10, 1)
+	if len(rec.Events()) != 5 {
 		t.Error("lifecycle events must bypass the bound")
+	}
+}
+
+// TestTruncationCounter: drops feed memcontention_trace_dropped_total.
+func TestTruncationCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := NewRecorder()
+	rec.SetRegistry(reg)
+	rec.MaxEvents = 1
+	for i := 0; i < 5; i++ {
+		rec.RatesResolved(0, float64(i), map[int]float64{1: 1})
+	}
+	c := reg.Counter("memcontention_trace_dropped_total", "", nil)
+	if got := c.Value(); got != 4 {
+		t.Errorf("dropped counter = %v, want 4", got)
 	}
 }
 
