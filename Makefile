@@ -2,12 +2,22 @@
 
 GO ?= go
 
-.PHONY: check vet build test race repro bench fuzz soak prof-smoke fmt
+.PHONY: check lint vet memlint build test race repro bench fuzz soak prof-smoke fmt
 
-check: vet build race repro ## pre-merge gate: vet + build + race tests + reproduction
+check: lint build race repro ## pre-merge gate: lint + build + race tests + reproduction
+
+# lint is the static-analysis gate: go vet plus the repo's own memlint
+# suite (determinism, maprange, nilhook, durable, errhygiene — see
+# docs/static-analysis.md). memlint exits 0 on a clean tree, 1 on
+# findings, 2 on usage/load errors; `go run` caches the memlint build in
+# the standard Go build cache, so repeat runs only pay for analysis.
+lint: vet memlint
 
 vet:
 	$(GO) vet ./...
+
+memlint:
+	$(GO) run ./cmd/memlint ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,161 @@
+// Command memlint runs the repo's custom static-analysis suite (see
+// internal/analysis and docs/static-analysis.md): determinism, map-range
+// ordering, nil-hook safety, durable writes and error hygiene, all
+// implemented on the standard library alone.
+//
+// Usage:
+//
+//	memlint [-C dir] [-checks list] [packages...]
+//
+// Package arguments are module import paths; the "..." suffix matches a
+// subtree and a bare "./..." (the default) means the whole module. The
+// module is always loaded in full — the arguments only filter which
+// packages' findings are reported — so cross-package type information is
+// complete either way.
+//
+// Exit codes (documented for CI):
+//
+//	0  no findings
+//	1  findings were reported
+//	2  usage, load or type-check error
+//
+// Every finding is printed to stdout as "file:line:col: [check] message",
+// sorted and deduplicated, so output is byte-stable for identical trees.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"memcontention/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("memlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
+	checks := fs.String("checks", "", "comma-separated checks to run (default: all; see -list)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: memlint [-C dir] [-checks list] [packages...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-12s %s\n", analysis.SuppressCheck, "malformed or stale //memlint:allow comments (always on)")
+		return 0
+	}
+	if *checks != "" {
+		analyzers = selectChecks(analyzers, *checks)
+		if analyzers == nil {
+			fmt.Fprintf(stderr, "memlint: unknown check in -checks %q (use -list)\n", *checks)
+			return 2
+		}
+	}
+
+	pkgs, err := analysis.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "memlint: %v\n", err)
+		return 2
+	}
+	modPath, err := analysis.ModulePath(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "memlint: %v\n", err)
+		return 2
+	}
+	keep := pkgFilter(modPath, pkgs, fs.Args())
+	if len(keep) == 0 {
+		fmt.Fprintf(stderr, "memlint: no packages match %v\n", fs.Args())
+		return 2
+	}
+
+	diags := analysis.Run(keep, analyzers, analysis.DefaultConfig())
+	abs, _ := filepath.Abs(*dir)
+	for _, d := range diags {
+		rel := d.Path
+		if r, err := filepath.Rel(abs, d.Path); err == nil && !strings.HasPrefix(r, "..") {
+			rel = filepath.ToSlash(r)
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, d.Line, d.Col, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "memlint: %d finding(s) in %d package(s)\n", len(diags), len(keep))
+		return 1
+	}
+	return 0
+}
+
+// selectChecks filters analyzers by a comma-separated name list (nil on
+// an unknown name).
+func selectChecks(all []*analysis.Analyzer, list string) []*analysis.Analyzer {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || name == analysis.SuppressCheck {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// pkgFilter keeps the packages matching the argument patterns. Patterns
+// are module-relative ("./...", "./internal/obs", "internal/obs/...") or
+// full import paths; no arguments (or "./...") keeps everything.
+func pkgFilter(modPath string, pkgs []*analysis.Package, args []string) []*analysis.Package {
+	if len(args) == 0 {
+		return pkgs
+	}
+	match := func(p *analysis.Package) bool {
+		for _, raw := range args {
+			pat := strings.TrimPrefix(raw, "./")
+			if pat == "..." || pat == "." {
+				return true
+			}
+			full := pat
+			if !strings.HasPrefix(pat, modPath) {
+				full = modPath + "/" + pat
+			}
+			if prefix, ok := strings.CutSuffix(full, "/..."); ok {
+				if p.PkgPath == prefix || strings.HasPrefix(p.PkgPath, prefix+"/") {
+					return true
+				}
+				continue
+			}
+			if p.PkgPath == full {
+				return true
+			}
+		}
+		return false
+	}
+	var keep []*analysis.Package
+	for _, p := range pkgs {
+		if match(p) {
+			keep = append(keep, p)
+		}
+	}
+	return keep
+}

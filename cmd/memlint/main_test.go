@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const fixture = "testdata/module"
+
+// runLint invokes the CLI entry point against the fixture module and
+// returns (exit code, stdout, stderr).
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(append([]string{"-C", fixture}, args...), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodeFindings pins exit code 1 and the rendered report for a
+// module with violations: output is sorted, module-relative and
+// byte-stable.
+func TestExitCodeFindings(t *testing.T) {
+	code, out, _ := runLint(t)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings)", code)
+	}
+	want := []string{
+		"dirty/dirty.go:11:33: [determinism] time.Now is nondeterministic",
+		"dirty/dirty.go:15:9: [durable] direct os.WriteFile can tear on crash",
+	}
+	for _, w := range want {
+		if !strings.Contains(out, w) {
+			t.Errorf("output missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "clean/clean.go") {
+		t.Errorf("clean package reported:\n%s", out)
+	}
+
+	// Identical tree, identical report.
+	code2, out2, _ := runLint(t)
+	if code2 != code || out2 != out {
+		t.Error("second run differs from first; memlint output must be deterministic")
+	}
+}
+
+// TestExitCodeClean pins exit code 0 when the package filter selects only
+// conforming code.
+func TestExitCodeClean(t *testing.T) {
+	code, out, errb := runLint(t, "./clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out, errb)
+	}
+	if out != "" {
+		t.Errorf("clean run produced output:\n%s", out)
+	}
+}
+
+// TestExitCodeUsage pins exit code 2 for usage and load errors.
+func TestExitCodeUsage(t *testing.T) {
+	if code, _, _ := runLint(t, "-checks", "nosuchcheck"); code != 2 {
+		t.Errorf("unknown -checks: exit = %d, want 2", code)
+	}
+	if code, _, _ := runLint(t, "./nosuchpkg"); code != 2 {
+		t.Errorf("unmatched package pattern: exit = %d, want 2", code)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "testdata"}, &out, &errb); code != 2 {
+		t.Errorf("non-module dir: exit = %d, want 2", code)
+	}
+}
+
+// TestChecksFilter restricts the run to one analyzer.
+func TestChecksFilter(t *testing.T) {
+	code, out, _ := runLint(t, "-checks", "durable")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if strings.Contains(out, "[determinism]") {
+		t.Errorf("-checks durable still ran determinism:\n%s", out)
+	}
+	if !strings.Contains(out, "[durable]") {
+		t.Errorf("-checks durable reported nothing:\n%s", out)
+	}
+}
+
+// TestListChecks pins the -list inventory.
+func TestListChecks(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "maprange", "nilhook", "durable", "errhygiene", "suppress"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %q:\n%s", name, out)
+		}
+	}
+}

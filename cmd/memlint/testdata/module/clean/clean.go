@@ -1,0 +1,15 @@
+// Package clean conforms to every invariant; the memlint CLI test
+// expects zero findings here.
+package clean
+
+import "sort"
+
+// Keys returns the map's keys in sorted order.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,16 @@
+// Package dirty violates the determinism and durable-write invariants on
+// purpose: the memlint CLI test expects exactly its findings.
+package dirty
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time { return time.Now() }
+
+// Save writes an artifact directly.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

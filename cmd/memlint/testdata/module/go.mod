@@ -1,0 +1,3 @@
+module lintfixture
+
+go 1.22

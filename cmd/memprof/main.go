@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 
+	"memcontention/internal/atomicio"
 	"memcontention/internal/campaign"
 	"memcontention/internal/checkpoint"
 	"memcontention/internal/obs"
@@ -140,15 +141,10 @@ func run(ctx context.Context, w io.Writer, o options, ckpt *checkpoint.CLI, cli 
 	}
 
 	if o.perfetto != "" {
-		f, err := os.Create(o.perfetto)
+		err := atomicio.WriteStream(o.perfetto, 0o644, func(w io.Writer) error {
+			return prof.WritePerfetto(w, events)
+		})
 		if err != nil {
-			return fmt.Errorf("writing -perfetto: %w", err)
-		}
-		if err := prof.WritePerfetto(f, events); err != nil {
-			f.Close()
-			return fmt.Errorf("writing -perfetto: %w", err)
-		}
-		if err := f.Close(); err != nil {
 			return fmt.Errorf("writing -perfetto: %w", err)
 		}
 		fmt.Fprintf(w, "\nwrote Perfetto trace to %s (open in ui.perfetto.dev)\n", o.perfetto)

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden diagnostic files under testdata/golden")
+
+// fixtureDir resolves one package directory under testdata/src.
+func fixtureDir(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// checkGolden compares the rendered diagnostics against
+// testdata/golden/<name>.txt (regenerate with -update).
+func checkGolden(t *testing.T, name, dir string, diags []Diagnostic) {
+	t.Helper()
+	got := RenderDiagnostics(diags, dir)
+	golden := filepath.Join("testdata", "golden", name+".txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	dir := fixtureDir(t, "determinism")
+	cfg := &Config{ClockInjectionPoints: []string{"determinism.WallClock"}}
+	diags := RunFixture(t, dir, cfg, DeterminismAnalyzer)
+	checkGolden(t, "determinism", dir, diags)
+}
+
+func TestMapRangeFixture(t *testing.T) {
+	dir := fixtureDir(t, "maprange")
+	diags := RunFixture(t, dir, &Config{}, MapRangeAnalyzer)
+	checkGolden(t, "maprange", dir, diags)
+}
+
+func TestNilHookFixture(t *testing.T) {
+	dir := fixtureDir(t, "nilhook")
+	cfg := &Config{NilHookTypes: []string{"nilhook.Recorder"}}
+	diags := RunFixture(t, dir, cfg, NilHookAnalyzer)
+	checkGolden(t, "nilhook", dir, diags)
+}
+
+func TestDurableFixture(t *testing.T) {
+	dir := fixtureDir(t, "durable")
+	diags := RunFixture(t, dir, &Config{}, DurableAnalyzer)
+	checkGolden(t, "durable", dir, diags)
+}
+
+func TestErrHygieneFixture(t *testing.T) {
+	dir := fixtureDir(t, "errhygiene")
+	diags := RunFixture(t, dir, &Config{}, ErrHygieneAnalyzer)
+	checkGolden(t, "errhygiene", dir, diags)
+}
+
+// TestSuppressFixture exercises the suppression pseudo-check: a used
+// allowance silences its finding, while stale, unknown-check and
+// missing-reason allowances are themselves diagnostics.
+func TestSuppressFixture(t *testing.T) {
+	dir := fixtureDir(t, "suppress")
+	diags := RunFixture(t, dir, &Config{}, Analyzers()...)
+	checkGolden(t, "suppress", dir, diags)
+	var stale, malformed int
+	for _, d := range diags {
+		if d.Check != SuppressCheck {
+			continue
+		}
+		if strings.Contains(d.Message, "stale") {
+			stale++
+		} else {
+			malformed++
+		}
+	}
+	if stale != 1 || malformed != 2 {
+		t.Errorf("suppress findings: stale=%d malformed=%d, want 1 and 2", stale, malformed)
+	}
+}
+
+// TestCleanFixture proves every analyzer stays silent on conforming code.
+func TestCleanFixture(t *testing.T) {
+	dir := fixtureDir(t, "clean")
+	cfg := &Config{
+		NilHookTypes:         []string{"clean.Store"},
+		ClockInjectionPoints: nil,
+	}
+	diags := RunFixture(t, dir, cfg, Analyzers()...)
+	if len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics:\n%s", len(diags), RenderDiagnostics(diags, dir))
+	}
+}
+
+// TestRunDeterministic runs the full suite twice over the same fixture
+// and asserts identical output — memlint's own reports must be
+// byte-stable, like every other artifact in this repo.
+func TestRunDeterministic(t *testing.T) {
+	dir := fixtureDir(t, "suppress")
+	pkg1, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := Run([]*Package{pkg1}, Analyzers(), &Config{})
+	d2 := Run([]*Package{pkg2}, Analyzers(), &Config{})
+	if RenderDiagnostics(d1, dir) != RenderDiagnostics(d2, dir) {
+		t.Error("two runs over the same fixture produced different diagnostics")
+	}
+	if !reflect.DeepEqual(SortedChecks(d1), SortedChecks(d2)) {
+		t.Error("check sets differ between runs")
+	}
+}
+
+// TestCheckNames pins the accepted //memlint:allow vocabulary.
+func TestCheckNames(t *testing.T) {
+	got := CheckNames(Analyzers())
+	want := []string{"determinism", "durable", "errhygiene", "maprange", "nilhook", "suppress"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CheckNames = %v, want %v", got, want)
+	}
+}

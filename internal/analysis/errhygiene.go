@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrHygieneAnalyzer enforces two wrapping-era error idioms:
+//
+//  1. sentinel errors must be matched with errors.Is, not == / != — the
+//     resilience layer wraps its sentinels (*OpError wrapping
+//     ErrTimeout, journal errors wrapping fs errors), so an identity
+//     comparison silently stops matching the moment a wrap is added;
+//  2. fmt.Errorf calls that format an error value must wrap it with %w
+//     (not %v/%s), or downstream errors.Is/errors.As lose the chain.
+//
+// Comparisons against nil are fine, as is an identity comparison inside
+// the package that declares no wrapped sentinels — but rather than guess,
+// intentional identity semantics are silenced with
+// //memlint:allow errhygiene — <reason>.
+var ErrHygieneAnalyzer = &Analyzer{
+	Name: "errhygiene",
+	Doc:  "sentinel errors compared with ==/!= and fmt.Errorf dropping %w",
+	Run:  runErrHygiene,
+}
+
+func runErrHygiene(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, x)
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrCompare flags `err == sentinel` / `err != sentinel` where both
+// sides are error-typed and neither is the nil literal.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	info := pass.Pkg.Info
+	if isNilLiteral(be.X) || isNilLiteral(be.Y) {
+		return
+	}
+	if !isErrorType(info, be.X) || !isErrorType(info, be.Y) {
+		return
+	}
+	verb := "errors.Is(a, b)"
+	if be.Op == token.NEQ {
+		verb = "!errors.Is(a, b)"
+	}
+	pass.Reportf(be.OpPos, "error compared with %s; wrapped sentinels never match — use %s", be.Op, verb)
+}
+
+func isNilLiteral(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isErrorType reports whether e's static type is the error interface or
+// a type implementing it (dynamic comparison through any/interface{} is
+// out of scope).
+func isErrorType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok {
+		// Exactly the error interface (or a superset defining Error()).
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == "Error" {
+				return true
+			}
+		}
+		return false
+	}
+	return implementsError(t)
+}
+
+// implementsError reports whether t or *t has an Error() string method.
+func implementsError(t types.Type) bool {
+	for _, tt := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(tt)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() != "Error" {
+				continue
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.String {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// checkErrorf flags fmt.Errorf calls whose arguments include an error
+// value but whose (constant) format string has no %w verb.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isPkgFunc(info.Uses[sel.Sel], "fmt", "Errorf") {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constantString(info, call.Args[0])
+	if !ok || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if isErrorType(info, arg) && !isNilLiteral(arg) {
+			pass.Reportf(call.Pos(), "fmt.Errorf formats an error without %%w; the cause is dropped from the errors.Is/As chain")
+			return
+		}
+	}
+}
+
+// constantString evaluates e as a compile-time string constant.
+func constantString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

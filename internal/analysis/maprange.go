@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags `for range` statements over maps whose body
+// writes to an ordering-sensitive sink — an io.Writer-style method, a
+// fmt.Fprint*/fmt.Print* call, a string builder, an encoder, or one of
+// the configured sink types (trace.Recorder, the export table builder) —
+// without an intervening sort inside the loop. Go randomizes map
+// iteration order, so such a loop emits bytes in a different order every
+// run: the exact class of bug that silently breaks the repo's
+// byte-identical artifact guarantees.
+//
+// The conforming pattern — collect keys, sort, range the sorted slice —
+// never ranges the map with a sink in the body, so it stays silent.
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "map iteration feeding a writer/encoder/recorder without a sort",
+	Run:  runMapRange,
+}
+
+// sinkMethodNames are method names that commit bytes or events in call
+// order when invoked on a writer-like or builder-like receiver.
+var sinkMethodNames = stringSet([]string{
+	"Write", "WriteString", "WriteByte", "WriteRune", "WriteTo",
+	"Encode", "EncodeToken", "Fprint", "Fprintf", "Fprintln",
+})
+
+// sinkPkgTypes are well-known stdlib receiver types whose every method
+// call inside the loop counts as a sink (order-preserving buffers and
+// encoders).
+var sinkPkgTypes = map[string]bool{
+	"strings.Builder":       true,
+	"bytes.Buffer":          true,
+	"bufio.Writer":          true,
+	"encoding/json.Encoder": true,
+	"encoding/xml.Encoder":  true,
+	"encoding/csv.Writer":   true,
+	"text/tabwriter.Writer": true,
+}
+
+func runMapRange(pass *Pass) {
+	sinkTypes := stringSet(pass.Config.SinkTypes)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.Info.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := findSink(pass, rng.Body, sinkTypes); sink != "" && !hasSortCall(pass, rng.Body) {
+				pass.Reportf(rng.Pos(), "map iteration order reaches %s without a sort; iterate sorted keys instead", sink)
+			}
+			return true
+		})
+	}
+}
+
+// findSink returns a description of the first ordering-sensitive sink
+// call inside body, or "".
+func findSink(pass *Pass, body *ast.BlockStmt, sinkTypes map[string]bool) string {
+	info := pass.Pkg.Info
+	var sink string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[sel.Sel]
+		if obj == nil {
+			return true
+		}
+		// fmt.Fprint* / fmt.Print* package functions.
+		if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			switch obj.Name() {
+			case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+				sink = "fmt." + obj.Name()
+				return false
+			}
+		}
+		// Method calls: classify by receiver type.
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		recv := namedRecvType(selection.Recv())
+		if recv == nil {
+			// Interface receivers: writer-shaped method names still count.
+			if _, isIface := selection.Recv().Underlying().(*types.Interface); isIface && sinkMethodNames[obj.Name()] {
+				sink = "interface method " + obj.Name()
+				return false
+			}
+			return true
+		}
+		q := qualifiedType(recv.Obj())
+		switch {
+		case sinkTypes[q]:
+			sink = "(" + q + ")." + obj.Name()
+		case sinkPkgTypes[q]:
+			sink = "(" + q + ")." + obj.Name()
+		case sinkMethodNames[obj.Name()] && implementsWriter(recv):
+			sink = "(" + q + ")." + obj.Name()
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// namedRecvType unwraps a (possibly pointer) receiver type to its named
+// type, or nil.
+func namedRecvType(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// implementsWriter reports whether t (or *t) has a Write([]byte) (int,
+// error) method — the io.Writer shape, checked structurally so the
+// loader needn't import io.
+func implementsWriter(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() != "Write" {
+				continue
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+				continue
+			}
+			if s, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+				if b, ok := s.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hasSortCall reports whether body calls into package sort or a
+// slices.Sort* function — the explicit ordering that makes a map range
+// deterministic again.
+func hasSortCall(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := usedObject(pass.Pkg.Info, call.Fun)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if len(obj.Name()) >= 4 && obj.Name()[:4] == "Sort" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

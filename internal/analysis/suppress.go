@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SuppressCheck is the pseudo-check name under which malformed and stale
+// //memlint:allow comments are reported. It exists so that suppressions
+// are themselves linted: an allowance must name a real check, give a
+// reason, and actually silence something — otherwise it is noise that
+// will outlive the code it excused.
+const SuppressCheck = "suppress"
+
+// allowPrefix introduces a suppression comment:
+//
+//	//memlint:allow <check> — <reason>
+//
+// placed on the offending line or on the line directly above it. The
+// separator may be an em dash (—), an en dash (–) or "--".
+const allowPrefix = "memlint:allow"
+
+// suppression is one parsed //memlint:allow comment.
+type suppression struct {
+	pos    token.Pos
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+// collectSuppressions parses every memlint:allow comment in the package.
+// Malformed comments (unknown check, missing reason) are reported
+// immediately under the "suppress" check and excluded from matching.
+func collectSuppressions(pkg *Package, known map[string]bool, report func(token.Pos, string, ...any)) []*suppression {
+	var sups []*suppression
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				s := parseAllow(pkg, c, rest, known, report)
+				if s != nil {
+					sups = append(sups, s)
+				}
+			}
+		}
+	}
+	return sups
+}
+
+// parseAllow validates one suppression body (" <check> — <reason>").
+func parseAllow(pkg *Package, c *ast.Comment, rest string, known map[string]bool, report func(token.Pos, string, ...any)) *suppression {
+	rest = strings.TrimSpace(rest)
+	check, reason := rest, ""
+	for _, sep := range []string{"—", "–", "--"} {
+		if i := strings.Index(rest, sep); i >= 0 {
+			check = strings.TrimSpace(rest[:i])
+			reason = strings.TrimSpace(rest[i+len(sep):])
+			break
+		}
+	}
+	switch {
+	case check == "":
+		report(c.Pos(), "malformed //memlint:allow: missing check name (want \"//memlint:allow <check> — <reason>\")")
+		return nil
+	case !known[check]:
+		report(c.Pos(), "//memlint:allow names unknown check %q", check)
+		return nil
+	case reason == "":
+		report(c.Pos(), "//memlint:allow %s has no reason; justify the suppression after an em dash", check)
+		return nil
+	}
+	return &suppression{
+		pos:    c.Pos(),
+		line:   pkg.Fset.Position(c.Pos()).Line,
+		check:  check,
+		reason: reason,
+	}
+}
+
+// applySuppressions filters raw diagnostics through the package's
+// //memlint:allow comments and appends "suppress" findings for malformed
+// and stale ones. A suppression on line L silences matching diagnostics
+// on line L (trailing comment) and line L+1 (comment above).
+func applySuppressions(pkg *Package, raw []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	known := stringSet(CheckNames(analyzers))
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		pass := &Pass{Pkg: pkg, diags: &out, check: SuppressCheck}
+		pass.Reportf(pos, format, args...)
+	}
+	sups := collectSuppressions(pkg, known, report)
+	byFile := make(map[string][]*suppression)
+	for _, s := range sups {
+		f := pkg.Fset.Position(s.pos).Filename
+		byFile[f] = append(byFile[f], s)
+	}
+	for _, d := range raw {
+		suppressed := false
+		for _, s := range byFile[d.Path] {
+			if s.check == d.Check && (s.line == d.Line || s.line == d.Line-1) {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			report(s.pos, "stale //memlint:allow %s: no %s diagnostic on this or the next line — remove it", s.check, s.check)
+		}
+	}
+	return out
+}

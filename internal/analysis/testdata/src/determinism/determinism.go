@@ -1,0 +1,54 @@
+// Package determinism is a memlint fixture: nondeterministic process
+// state reads that the determinism check must flag, next to conforming
+// injected-clock code it must leave alone.
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock directly — flagged.
+func Stamp() time.Time {
+	return time.Now() // want "time.Now is nondeterministic"
+}
+
+// Elapsed uses time.Since (a hidden time.Now) — flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is nondeterministic"
+}
+
+// Smuggle stores the clock func without calling it — still flagged: the
+// value read later is just as nondeterministic.
+func Smuggle() func() time.Time {
+	return time.Now // want "time.Now is nondeterministic"
+}
+
+// Jitter draws from the globally seeded source — flagged.
+func Jitter() float64 {
+	return rand.Float64() // want "math/rand.Float64 is nondeterministic"
+}
+
+// Pid reads process identity — flagged.
+func Pid() int {
+	return os.Getpid() // want "os.Getpid is nondeterministic"
+}
+
+// WallClock is this fixture's declared clock-injection point (allowlisted
+// in the test config) — silent.
+func WallClock() time.Time {
+	return time.Now()
+}
+
+// SeededDraw uses an explicitly seeded local source — silent: the result
+// is a pure function of the seed.
+func SeededDraw(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// InjectedStamp takes the clock from its caller — silent, the conforming
+// pattern the check pushes code toward.
+func InjectedStamp(now func() time.Time) time.Time {
+	return now()
+}

@@ -1,0 +1,48 @@
+// Package errhygiene is a memlint fixture: sentinel comparisons and
+// fmt.Errorf calls in both the broken and the conforming form.
+package errhygiene
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBudget is a sentinel that callers may see wrapped.
+var ErrBudget = errors.New("budget exhausted")
+
+// Retry compares a sentinel by identity — flagged: a wrapped ErrBudget
+// never matches.
+func Retry(err error) bool {
+	return err == ErrBudget // want "error compared with ==; wrapped sentinels never match"
+}
+
+// Keep compares by identity with != — flagged.
+func Keep(err error) bool {
+	return err != io.EOF // want "error compared with !=; wrapped sentinels never match"
+}
+
+// Wrap formats the cause with %v — flagged: the chain is dropped.
+func Wrap(err error) error {
+	return fmt.Errorf("loading plan: %v", err) // want "fmt.Errorf formats an error without %w"
+}
+
+// NilCheck compares against nil — silent: that is not a sentinel match.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// GoodRetry matches through the wrap chain — silent.
+func GoodRetry(err error) bool {
+	return errors.Is(err, ErrBudget)
+}
+
+// GoodWrap wraps with %w — silent.
+func GoodWrap(err error) error {
+	return fmt.Errorf("loading plan: %w", err)
+}
+
+// Message formats only strings — silent: no error value is dropped.
+func Message(name string) error {
+	return fmt.Errorf("unknown platform %q", name)
+}

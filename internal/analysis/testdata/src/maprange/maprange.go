@@ -1,0 +1,71 @@
+// Package maprange is a memlint fixture: map iterations that feed
+// ordering-sensitive sinks (flagged) next to the conforming
+// collect-sort-range pattern (silent).
+package maprange
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DumpDirect ranges a map straight into a writer — flagged: iteration
+// order differs run to run, so the emitted bytes do too.
+func DumpDirect(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches fmt.Fprintf without a sort"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// BuildDirect ranges a map into a strings.Builder — flagged.
+func BuildDirect(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want "map iteration order reaches \\(strings.Builder\\).WriteString without a sort"
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// EncodeDirect ranges a map into a JSON encoder — flagged.
+func EncodeDirect(enc *json.Encoder, m map[int]float64) error {
+	for _, v := range m { // want "map iteration order reaches \\(encoding/json.Encoder\\).Encode without a sort"
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DumpSorted collects the keys, sorts, then ranges the slice — silent,
+// the conforming pattern.
+func DumpSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// SortInLoop sorts inside the loop body before emitting — silent: the
+// analyzer accepts an intervening sort.
+func SortInLoop(w io.Writer, m map[string][]int) {
+	for _, vs := range m {
+		sort.Ints(vs)
+		fmt.Fprintln(w, vs)
+	}
+}
+
+// Accumulate ranges a map into another map — silent: no
+// ordering-sensitive sink is touched.
+func Accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,76 @@
+// Package nilhook is a memlint fixture: a nil-tolerant hook type (listed
+// in the test config) with guarded, unguarded and delegation-only
+// methods.
+package nilhook
+
+// Recorder stands in for the repo's hook types: documented inert when
+// nil, so exported methods touching fields must open with a nil guard.
+type Recorder struct {
+	events []int
+	n      int
+}
+
+// Append dereferences without any guard — flagged.
+func (r *Recorder) Append(ev int) { // want "\\(\\*Recorder\\).Append dereferences the receiver without a leading nil guard"
+	r.events = append(r.events, ev)
+}
+
+// Count guards with the early-return form — silent.
+func (r *Recorder) Count() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Reset guards with a compound early return — silent.
+func (r *Recorder) Reset(force bool) {
+	if r == nil || !force {
+		return
+	}
+	r.events = nil
+	r.n = 0
+}
+
+// Record guards with the inverted form, touching state only inside the
+// guard — silent.
+func (r *Recorder) Record(ev int) {
+	if r != nil {
+		r.events = append(r.events, ev)
+	}
+}
+
+// Leaky opens with an inverted guard but dereferences after it — flagged.
+func (r *Recorder) Leaky(ev int) { // want "\\(\\*Recorder\\).Leaky dereferences the receiver without a leading nil guard"
+	if r != nil {
+		r.events = append(r.events, ev)
+	}
+	r.n++
+}
+
+// Late checks nil only after the first dereference — flagged: the guard
+// must come first.
+func (r *Recorder) Late() int { // want "\\(\\*Recorder\\).Late dereferences the receiver without a leading nil guard"
+	n := r.n
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// Flush only delegates to a method that guards itself — silent: calling
+// a method on a nil pointer is safe as long as nothing dereferences it.
+func (r *Recorder) Flush() int {
+	return r.Count()
+}
+
+// internalBump is unexported — out of the contract's scope, silent.
+func (r *Recorder) internalBump() {
+	r.n++
+}
+
+// Plain is not a configured hook type: its unguarded methods are silent.
+type Plain struct{ v int }
+
+// Get dereferences without a guard but Plain is not a hook — silent.
+func (p *Plain) Get() int { return p.v }

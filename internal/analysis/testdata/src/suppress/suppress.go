@@ -1,0 +1,36 @@
+// Package suppress is a memlint fixture for the suppression pseudo-check:
+// a valid used allowance, a stale one, and two malformed ones.
+package suppress
+
+import (
+	"os"
+	"time"
+)
+
+// Used: the allowance silences the durable finding on the next line and
+// is therefore legitimate — only the suppress diagnostics below fire.
+func Used(path string, data []byte) error {
+	//memlint:allow durable — simulated torn write in the crash harness
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Stale: nothing on this or the next line trips the determinism check,
+// so the allowance itself is flagged.
+func Stale() int {
+	//memlint:allow determinism — left over from a removed time.Now // want "stale //memlint:allow determinism"
+	return 42
+}
+
+// Unknown check name — flagged.
+func Unknown(path string, data []byte) error {
+	//memlint:allow torn-writes — no such check // want "names unknown check \"torn-writes\""
+	return os.WriteFile(path, data, 0o644) // want "direct os.WriteFile can tear on crash"
+}
+
+// Missing reason — flagged (the block-comment form keeps the want
+// expectation on the same line), and the underlying finding is still
+// reported.
+func Missing() time.Time {
+	/*memlint:allow determinism*/ // want "has no reason"
+	return time.Now() // want "time.Now is nondeterministic"
+}

@@ -9,6 +9,7 @@ package atomicio
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -37,6 +38,47 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 		}
 	}()
 	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	tmp = nil // renamed away: nothing to clean up
+	if err := SyncDir(dir); err != nil {
+		return fmt.Errorf("atomicio: %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteStream atomically and durably replaces path with whatever fn
+// writes. It follows the same stage→fsync→rename→dir-fsync sequence as
+// WriteFile, but lets the caller stream into an io.Writer instead of
+// materializing the full artifact in memory first (Prometheus dumps,
+// JSONL traces, Perfetto exports). If fn returns an error, the staged
+// temporary is removed and the previous content of path is untouched —
+// a crash or failure mid-write can never leave a torn artifact behind.
+func WriteStream(path string, perm os.FileMode, fn func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: stage %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := fn(tmp); err != nil {
 		return fmt.Errorf("atomicio: write %s: %w", path, err)
 	}
 	if err := tmp.Chmod(perm); err != nil {

@@ -1,6 +1,8 @@
 package atomicio
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,5 +86,70 @@ func TestSyncDir(t *testing.T) {
 	}
 	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("expected error for missing directory")
+	}
+}
+
+// TestWriteStreamStreams the success path: fn's writes land in full at
+// path.
+func TestWriteStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := WriteStream(path, 0o644, func(w io.Writer) error {
+		for _, line := range []string{"one\n", "two\n", "three\n"} {
+			if _, err := w.Write([]byte(line)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "one\ntwo\nthree\n" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestWriteStreamCrashLeavesNoTornArtifact simulates a crash mid-write:
+// the stream callback emits half the payload and then fails, as a
+// process dying between two Write calls would. The previous artifact
+// must survive byte-for-byte and no staged temporary may remain — the
+// exact guarantee the durable memlint check exists to protect.
+func TestWriteStreamCrashLeavesNoTornArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "table2.json")
+	if err := WriteFile(path, []byte("previous complete artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("simulated crash")
+	err := WriteStream(path, 0o644, func(w io.Writer) error {
+		if _, err := w.Write([]byte(`{"rows": [1, 2, `)); err != nil {
+			return err
+		}
+		return boom // the process "dies" with the payload half-written
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped simulated crash", err)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if string(got) != "previous complete artifact" {
+		t.Fatalf("artifact torn: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("staged temporary left behind: %v", names)
 	}
 }

@@ -102,3 +102,28 @@ func TestFormatters(t *testing.T) {
 		t.Errorf("GBs = %q", GBs(10.125))
 	}
 }
+
+// TestExportersByteStable renders every Table writer (and the shared JSON
+// helper over a map payload) twice; identical input must yield identical
+// bytes, so map-iteration order can never leak into an artifact.
+func TestExportersByteStable(t *testing.T) {
+	twice := func(name string, fn func(*strings.Builder) error) {
+		t.Helper()
+		var a, b strings.Builder
+		if err := fn(&a); err != nil {
+			t.Fatalf("%s first pass: %v", name, err)
+		}
+		if err := fn(&b); err != nil {
+			t.Fatalf("%s second pass: %v", name, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s is not byte-stable:\n%s\nvs\n%s", name, a.String(), b.String())
+		}
+	}
+	tab := sampleTable()
+	twice("WriteText", func(b *strings.Builder) error { return tab.WriteText(b) })
+	twice("WriteCSV", func(b *strings.Builder) error { return tab.WriteCSV(b) })
+	twice("WriteJSON(map)", func(b *strings.Builder) error {
+		return WriteJSON(b, map[string]float64{"zeta": 1, "alpha": 2, "mid": 3})
+	})
+}

@@ -195,6 +195,9 @@ func (p *Plan) Validate() error {
 // events (-1 when none), so callers can reject plans that target machines
 // the cluster does not have.
 func (p *Plan) MaxMachine() int {
+	if p == nil {
+		return -1
+	}
 	maxID := -1
 	for _, e := range p.Events {
 		if machineScoped(e.Kind) && e.Machine > maxID {
@@ -223,6 +226,9 @@ func (p *Plan) Fingerprint() string {
 // Sorted returns the events ordered by (At, declaration order). The plan
 // itself is not modified.
 func (p *Plan) Sorted() []Event {
+	if p == nil {
+		return nil
+	}
 	out := append([]Event(nil), p.Events...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
 	return out

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"memcontention/internal/atomicio"
 )
 
 // JSONLWriter is anything that can stream itself as JSON Lines — in this
@@ -73,17 +75,10 @@ func (c *CLI) Start() error {
 	return nil
 }
 
-// writeFile creates path and streams fn into it.
+// writeFile streams fn into path through the durable write path, so a
+// crash mid-write can never leave a torn metrics/trace/manifest artifact.
 func writeFile(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteStream(path, 0o644, fn)
 }
 
 // Finish writes the requested artifacts: metrics from reg, the trace from

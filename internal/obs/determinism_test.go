@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// marshalTwice renders fn twice and fails unless both passes emit the
+// same bytes — the repo-wide regression net for map-iteration order
+// leaking into an exporter.
+func marshalTwice(t *testing.T, name string, fn func(*bytes.Buffer) error) {
+	t.Helper()
+	var a, b bytes.Buffer
+	if err := fn(&a); err != nil {
+		t.Fatalf("%s first pass: %v", name, err)
+	}
+	if err := fn(&b); err != nil {
+		t.Fatalf("%s second pass: %v", name, err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("%s is not byte-stable across passes:\n--- first ---\n%s\n--- second ---\n%s", name, a.String(), b.String())
+	}
+}
+
+// TestRegistryJSONByteStable marshals the JSON exposition twice.
+func TestRegistryJSONByteStable(t *testing.T) {
+	r := goldenRegistry()
+	marshalTwice(t, "Registry.WriteJSON", func(buf *bytes.Buffer) error { return r.WriteJSON(buf) })
+}
+
+// TestManifestByteStable marshals a manifest with labeled instruments and
+// a notes map twice; both maps must render sorted.
+func TestManifestByteStable(t *testing.T) {
+	m := NewManifest("memtest")
+	m.Platform = "henri"
+	m.Seed = 7
+	m.Args = []string{"-platform", "henri", "-seed", "7"}
+	m.Notes = map[string]string{"placement": "spread", "msg": "8MiB", "kernel": "triad"}
+	m.AttachRegistry(goldenRegistry())
+	marshalTwice(t, "Manifest.WriteJSON", func(buf *bytes.Buffer) error { return m.WriteJSON(buf) })
+}

@@ -2,6 +2,27 @@ package obs
 
 import "time"
 
+// Clock supplies wall timestamps to spans. Injecting one makes
+// span-based artifacts byte-reproducible: two identical runs that share
+// a clock emit identical timings.
+type Clock func() time.Time
+
+// WallClock reads the operating-system clock. It is the repo's single
+// sanctioned wall-clock read (memlint's determinism check allowlists
+// exactly this function); every other component takes a Clock — or a
+// simulated-seconds func — from its caller.
+func WallClock() time.Time { return time.Now() }
+
+// SimClock adapts a simulated-seconds clock (e.g. engine.Sim.Now) into a
+// Clock anchored at the Unix epoch. Spans started with it report
+// deterministic engine time as their "wall" duration, so manifests and
+// traces recorded under -trace stay byte-stable run to run.
+func SimClock(now func() float64) Clock {
+	return func() time.Time {
+		return time.Unix(0, 0).Add(time.Duration(now() * float64(time.Second)))
+	}
+}
+
 // Timing is the result of a finished Span: how long the phase took on the
 // wall clock and in simulated (virtual) time, plus the span's identity so
 // nested timings can be reassembled into a tree.
@@ -40,6 +61,7 @@ type Span struct {
 	id        SpanID
 	parent    SpanID
 	seq       *SpanID // tree-wide id allocator, owned by the root
+	clock     Clock   // wall timestamp source, inherited by children
 	wallStart time.Time
 	virtClock func() float64
 	virtStart float64
@@ -47,21 +69,32 @@ type Span struct {
 	virtHist  *Histogram
 }
 
-// StartSpan begins a root wall-clock span (id 1 of a fresh tree).
+// StartSpan begins a root wall-clock span (id 1 of a fresh tree) on the
+// operating-system clock.
 func StartSpan(name string) *Span {
-	seq := SpanID(1)
-	return &Span{name: name, id: 1, seq: &seq, wallStart: time.Now()}
+	return StartSpanClock(name, WallClock)
 }
 
-// Child begins a nested span under s, inheriting its virtual clock. The
-// child's id is the next id of s's tree, deterministic in call order.
-// A nil receiver returns a nil (inert) span.
+// StartSpanClock begins a root span reading wall timestamps from clock
+// (nil falls back to WallClock). Deterministic runs pass SimClock so the
+// resulting timings are byte-stable.
+func StartSpanClock(name string, clock Clock) *Span {
+	if clock == nil {
+		clock = WallClock
+	}
+	seq := SpanID(1)
+	return &Span{name: name, id: 1, seq: &seq, clock: clock, wallStart: clock()}
+}
+
+// Child begins a nested span under s, inheriting its wall and virtual
+// clocks. The child's id is the next id of s's tree, deterministic in
+// call order. A nil receiver returns a nil (inert) span.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	*s.seq++
-	c := &Span{name: name, id: *s.seq, parent: s.id, seq: s.seq, wallStart: time.Now()}
+	c := &Span{name: name, id: *s.seq, parent: s.id, seq: s.seq, clock: s.clock, wallStart: s.clock()}
 	if s.virtClock != nil {
 		c.virtClock = s.virtClock
 		c.virtStart = s.virtClock()
@@ -120,7 +153,7 @@ func (s *Span) End() Timing {
 	if s == nil {
 		return Timing{}
 	}
-	t := Timing{Name: s.name, ID: s.id, Parent: s.parent, Wall: time.Since(s.wallStart).Seconds()}
+	t := Timing{Name: s.name, ID: s.id, Parent: s.parent, Wall: s.clock().Sub(s.wallStart).Seconds()}
 	if s.virtClock != nil {
 		t.Virtual = s.virtClock() - s.virtStart
 	}

@@ -77,3 +77,44 @@ func TestNilSpanChild(t *testing.T) {
 		t.Errorf("nil span ids = (%d,%d), want (0,0)", c.ID(), c.ParentID())
 	}
 }
+
+// TestSimClockSpansByteStable runs the same span tree twice on a
+// simulated clock (the deterministic engine time): with the wall clock
+// injected, even the Wall fields are identical, so span-bearing artifacts
+// written under -trace are byte-stable run to run.
+func TestSimClockSpansByteStable(t *testing.T) {
+	build := func() []byte {
+		sim := 0.0
+		root := StartSpanClock("run", SimClock(func() float64 { return sim }))
+		work := root.Child("work")
+		sim = 2.5
+		tWork := work.End()
+		sim = 4.0
+		tRoot := root.End()
+		data, err := json.Marshal([]Timing{tRoot, tWork})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Errorf("sim-clock span trees differ:\n%s\nvs\n%s", a, b)
+	}
+	var timings []Timing
+	if err := json.Unmarshal(a, &timings); err != nil {
+		t.Fatal(err)
+	}
+	if timings[0].Wall != 4.0 || timings[1].Wall != 2.5 {
+		t.Errorf("wall durations = %g, %g; want 4 and 2.5 simulated seconds", timings[0].Wall, timings[1].Wall)
+	}
+}
+
+// TestStartSpanClockNilFallsBack pins the default: a nil clock means the
+// operating-system wall clock, and durations stay non-negative.
+func TestStartSpanClockNilFallsBack(t *testing.T) {
+	sp := StartSpanClock("run", nil)
+	if tm := sp.End(); tm.Wall < 0 {
+		t.Errorf("wall duration = %g, want >= 0", tm.Wall)
+	}
+}

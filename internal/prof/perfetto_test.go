@@ -112,3 +112,21 @@ func TestPerfettoLaneNesting(t *testing.T) {
 		}
 	}
 }
+
+// TestPerfettoByteStable exports the same event stream twice; the
+// Chrome-trace JSON must be byte-identical (lane assignment, counter
+// tracks and metadata all derive deterministically from the events).
+func TestPerfettoByteStable(t *testing.T) {
+	p, _ := profiledClusterRun(t, "henri")
+	events := p.Events()
+	var a, b bytes.Buffer
+	if err := WritePerfetto(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfetto(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two Perfetto exports of the same events differ")
+	}
+}

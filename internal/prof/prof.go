@@ -43,13 +43,26 @@ func Attach(rec *trace.Recorder) *Profiler {
 }
 
 // Recorder returns the underlying recorder.
-func (p *Profiler) Recorder() *trace.Recorder { return p.rec }
+func (p *Profiler) Recorder() *trace.Recorder {
+	if p == nil {
+		return nil
+	}
+	return p.rec
+}
 
 // Events returns the recorded timeline.
-func (p *Profiler) Events() []trace.Event { return p.rec.Events() }
+func (p *Profiler) Events() []trace.Event {
+	if p == nil {
+		return nil
+	}
+	return p.rec.Events()
+}
 
 // BeginSpan implements obs.SpanRecorder.
 func (p *Profiler) BeginSpan(parent obs.SpanID, name, category string, at float64, attrs obs.SpanAttrs) obs.SpanID {
+	if p == nil {
+		return 0
+	}
 	p.next++
 	p.rec.Append(trace.Event{
 		At: at, Kind: trace.SpanBegin,
@@ -61,7 +74,7 @@ func (p *Profiler) BeginSpan(parent obs.SpanID, name, category string, at float6
 
 // EndSpan implements obs.SpanRecorder.
 func (p *Profiler) EndSpan(id obs.SpanID, at float64) {
-	if id == 0 {
+	if p == nil || id == 0 {
 		return
 	}
 	p.rec.Append(trace.Event{At: at, Kind: trace.SpanEnd, Span: id})
@@ -71,6 +84,9 @@ func (p *Profiler) EndSpan(id obs.SpanID, at float64) {
 // free-standing instant) carrying resource attribution — e.g. "this wait
 // was bound by the xlink".
 func (p *Profiler) Instant(span obs.SpanID, name, category string, at float64, attrs obs.SpanAttrs) {
+	if p == nil {
+		return
+	}
 	p.rec.Append(trace.Event{
 		At: at, Kind: trace.Instant,
 		Span: span, Label: name, Cat: category, Attrs: attrs,
@@ -79,33 +95,60 @@ func (p *Profiler) Instant(span obs.SpanID, name, category string, at float64, a
 
 // FlowStarted implements engine.FlowObserver.
 func (p *Profiler) FlowStarted(machine, id int, stream memsys.Stream, bytes, at float64) {
+	if p == nil {
+		return
+	}
 	p.rec.FlowStarted(machine, id, stream, bytes, at)
 }
 
 // FlowFinished implements engine.FlowObserver.
 func (p *Profiler) FlowFinished(machine, id int, at, avgRate float64) {
+	if p == nil {
+		return
+	}
 	p.rec.FlowFinished(machine, id, at, avgRate)
 }
 
 // RatesResolved implements engine.FlowObserver.
 func (p *Profiler) RatesResolved(machine int, at float64, rates map[int]float64) {
+	if p == nil {
+		return
+	}
 	p.rec.RatesResolved(machine, at, rates)
 }
 
 // MarkAt records a user annotation.
-func (p *Profiler) MarkAt(at float64, label string) { p.rec.MarkAt(at, label) }
+func (p *Profiler) MarkAt(at float64, label string) {
+	if p == nil {
+		return
+	}
+	p.rec.MarkAt(at, label)
+}
 
 // FaultAt implements the fault layer's Marker interface.
-func (p *Profiler) FaultAt(at float64, label string) { p.rec.FaultAt(at, label) }
+func (p *Profiler) FaultAt(at float64, label string) {
+	if p == nil {
+		return
+	}
+	p.rec.FaultAt(at, label)
+}
 
 // CheckpointAt records a graceful-interruption marker.
-func (p *Profiler) CheckpointAt(at float64, label string) { p.rec.CheckpointAt(at, label) }
+func (p *Profiler) CheckpointAt(at float64, label string) {
+	if p == nil {
+		return
+	}
+	p.rec.CheckpointAt(at, label)
+}
 
 // Ingest replays a previously recorded stream (e.g. one campaign unit's
 // span file on resume) and advances the span-id allocator past every span
 // it contains, so spans recorded afterwards never collide with the
 // stitched ones and the merged trace stays consistent.
 func (p *Profiler) Ingest(events []trace.Event) {
+	if p == nil {
+		return
+	}
 	p.rec.Ingest(events)
 	for _, ev := range events {
 		if ev.Span > p.next {

@@ -57,3 +57,26 @@ func TestWriteReportWithoutRunner(t *testing.T) {
 		t.Error("nil runner must skip the ablation section")
 	}
 }
+
+// TestReportByteStable renders the same evaluated platform twice; the
+// report (tables, charts, ablations) must be byte-identical.
+func TestReportByteStable(t *testing.T) {
+	runner, err := bench.NewRunner(bench.Config{Platform: topology.Henri(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eval.EvaluateRunner(runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := Write(&a, res, runner); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, res, runner); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of the same report differ")
+	}
+}

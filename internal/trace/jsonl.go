@@ -116,6 +116,9 @@ func WriteEventsJSONL(w io.Writer, events []Event) error {
 // with the same seed produce byte-identical traces, so traces can be
 // diffed across runs. Line count equals EventCount.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	return WriteEventsJSONL(w, r.events)
 }
 

@@ -163,13 +163,21 @@ func NewRecorder() *Recorder {
 // memcontention_trace_dropped_total counter tracks events lost to the
 // MaxEvents bound. A nil registry detaches.
 func (r *Recorder) SetRegistry(reg *obs.Registry) {
+	if r == nil {
+		return
+	}
 	r.dropped = reg.Counter("memcontention_trace_dropped_total", "Trace events dropped by the Recorder's MaxEvents bound.", nil)
 }
 
 // Truncated reports whether the MaxEvents bound has dropped any events:
 // a truncated timeline must not be used for bandwidth attribution or
 // critical-path analysis.
-func (r *Recorder) Truncated() bool { return r.truncated }
+func (r *Recorder) Truncated() bool {
+	if r == nil {
+		return false
+	}
+	return r.truncated
+}
 
 // ensureFlows lazily allocates the flow map, keeping the zero-value
 // Recorder usable.
@@ -185,6 +193,9 @@ func (r *Recorder) ensureFlows() {
 // replayed event stream reconstructs the same recorder state as the
 // original run.
 func (r *Recorder) Append(ev Event) {
+	if r == nil {
+		return
+	}
 	switch ev.Kind {
 	case FlowStart:
 		r.ensureFlows()
@@ -234,6 +245,9 @@ func (r *Recorder) FlowFinished(machine, id int, at, avgRate float64) {
 // limiter-applied per-flow rates (GB/s), recorded sorted by flow id so
 // the timeline is deterministic.
 func (r *Recorder) RatesResolved(machine int, at float64, rates map[int]float64) {
+	if r == nil {
+		return
+	}
 	if r.MaxEvents > 0 && len(r.events) >= r.MaxEvents {
 		r.drop(at) // don't build the rate list for a dropped event
 		return
@@ -270,10 +284,20 @@ func (r *Recorder) FaultAt(at float64, label string) {
 
 // Events returns the recorded timeline in insertion order (which is
 // simulated-time order, the engine being deterministic).
-func (r *Recorder) Events() []Event { return r.events }
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
 
 // EventCount reports the number of recorded events.
-func (r *Recorder) EventCount() int { return len(r.events) }
+func (r *Recorder) EventCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
 
 // Summary aggregates the recording per stream kind.
 type Summary struct {
@@ -292,6 +316,9 @@ type Summary struct {
 
 // Summarize computes per-kind statistics over finished flows.
 func (r *Recorder) Summarize(kind memsys.StreamKind) Summary {
+	if r == nil {
+		return Summary{MinRate: 0}
+	}
 	var s Summary
 	s.MinRate = -1
 	first := true
@@ -343,7 +370,7 @@ func (r *Recorder) Summarize(kind memsys.StreamKind) Summary {
 // Timeline renders the recording as aligned text, one line per event,
 // limited to the first max events (0 = all).
 func (r *Recorder) Timeline(max int) string {
-	if len(r.events) == 0 {
+	if r == nil || len(r.events) == 0 {
 		return "(no events)\n"
 	}
 	var b strings.Builder
@@ -380,6 +407,9 @@ func (r *Recorder) Timeline(max int) string {
 // Gantt renders per-flow lifetime bars (sorted by start time) scaled to
 // width characters, for quick visual inspection of overlap structure.
 func (r *Recorder) Gantt(width int) string {
+	if r == nil {
+		return "(no flows)\n"
+	}
 	if width < 10 {
 		width = 10
 	}
