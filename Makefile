@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet memlint build test race repro bench fuzz soak prof-smoke fmt
+.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak prof-smoke serve-smoke loadtest fmt
 
-check: lint build race repro ## pre-merge gate: lint + build + race tests + reproduction
+check: lint build race repro benchdiff ## pre-merge gate: lint + build + race tests + reproduction (+ advisory benchdiff)
 
 # lint is the static-analysis gate: go vet plus the repo's own memlint
 # suite (determinism, maprange, nilhook, durable, errhygiene — see
@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzLoadProfileFile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 
 # prof-smoke runs memprof on the seeded overlap scenario and validates
 # the Perfetto export byte-for-byte against the golden file (regenerate
@@ -60,6 +61,30 @@ soak:
 # overhead (compare against BENCH_baseline.json).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./... | $(GO) run ./scripts/benchjson
+
+# benchdiff reruns a stable benchmark subset and compares ns/op and
+# allocs/op against BENCH_baseline.json, failing beyond 15% growth.
+# Advisory in `make check` (leading `-`): shared runners are noisy, so a
+# flagged regression means "measure properly before merging", not
+# "blocked" (see docs/observability.md).
+BENCHDIFF_PATTERN ?= BenchmarkClusterHaloExchange$$|BenchmarkTable1Platforms$$|BenchmarkPredict$$|BenchmarkSolver$$
+benchdiff:
+	-$(GO) test -bench '$(BENCHDIFF_PATTERN)' -benchmem -run '^$$' ./... \
+		| $(GO) run ./scripts/benchjson \
+		| $(GO) run ./scripts/benchdiff -baseline BENCH_baseline.json
+
+# serve-smoke boots the real memserve binary path (warm-up, listener,
+# live plane) and walks /healthz, /readyz, a prediction and a /metrics
+# scrape end to end.
+serve-smoke:
+	$(GO) test -run 'TestMemserve' -count=1 ./cmd/memserve/
+
+# loadtest proves the serving budgets on cached predictions: achieved
+# QPS >= 5000 and server-reported p99 <= 5ms, both read back from the
+# live /metrics scrape (see docs/memserve.md).
+LOAD_DURATION ?= 3s
+loadtest:
+	$(GO) run ./scripts/loadgen -duration $(LOAD_DURATION) -workers 16 -qps-budget 5000 -p99-budget 5ms
 
 fmt:
 	gofmt -l -w .

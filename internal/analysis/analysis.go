@@ -104,6 +104,13 @@ type Config struct {
 	// "importpath.TypeName.Method" for methods. Everything else must take
 	// a clock/seed from its caller.
 	ClockInjectionPoints []string
+	// DeterminismExemptPkgs are package import paths (exact, or prefixes
+	// when ending in "/") where the determinism check does not apply at
+	// all. Serving-plane packages live here: a long-running server's
+	// latency measurements and deadlines are wall-clock by nature and
+	// never feed a reproducible artifact. Simulation and calibration
+	// packages must never be listed.
+	DeterminismExemptPkgs []string
 	// SinkTypes are additional fully qualified types whose method calls
 	// count as ordering-sensitive sinks for the maprange check (on top of
 	// the built-in writers, builders and encoders).
@@ -131,6 +138,15 @@ func DefaultConfig() *Config {
 		ClockInjectionPoints: []string{
 			// The one sanctioned wall-clock read: the default obs.Clock.
 			"memcontention/internal/obs.WallClock",
+		},
+		DeterminismExemptPkgs: []string{
+			// The serving plane: live request latency is wall-clock by
+			// definition and feeds rolling gauges, not artifacts.
+			"memcontention/internal/serve",
+			"memcontention/cmd/memserve",
+			"memcontention/scripts/loadgen",
+			// slogx mints random run ids; identity, not simulation.
+			"memcontention/internal/obs/slogx",
 		},
 		SinkTypes: []string{
 			"memcontention/internal/trace.Recorder",

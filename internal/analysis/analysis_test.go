@@ -52,6 +52,67 @@ func TestDeterminismFixture(t *testing.T) {
 	checkGolden(t, "determinism", dir, diags)
 }
 
+// TestDeterminismExemptFixture proves the serving-plane dispensation
+// both ways on the same fixture: without an exemption the package is
+// full of findings (pinned by golden + want comments); listed on
+// DeterminismExemptPkgs it is completely silent.
+func TestDeterminismExemptFixture(t *testing.T) {
+	dir := fixtureDir(t, "servepkg")
+	diags := RunFixture(t, dir, &Config{}, DeterminismAnalyzer)
+	if len(diags) == 0 {
+		t.Fatal("servepkg fixture produced no findings without an exemption")
+	}
+	checkGolden(t, "servepkg", dir, diags)
+
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exempted := Run([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer},
+		&Config{DeterminismExemptPkgs: []string{"servepkg"}})
+	if len(exempted) != 0 {
+		t.Errorf("exempt package still produced %d findings:\n%s",
+			len(exempted), RenderDiagnostics(exempted, dir))
+	}
+}
+
+// TestDeterminismExemptionDoesNotLeakToSimPackages runs the simulation
+// fixture under the full DefaultConfig exemption list: every wall-clock
+// finding must still fire — the serving dispensation is surgical, not a
+// hole in the invariant.
+func TestDeterminismExemptionDoesNotLeakToSimPackages(t *testing.T) {
+	dir := fixtureDir(t, "determinism")
+	cfg := DefaultConfig()
+	cfg.ClockInjectionPoints = []string{"determinism.WallClock"}
+	diags := RunFixture(t, dir, cfg, DeterminismAnalyzer)
+	if len(diags) == 0 {
+		t.Fatal("sim fixture went silent under the default exemption list")
+	}
+	checkGolden(t, "determinism", dir, diags)
+}
+
+// TestDeterminismExemptMatching pins the entry syntax: exact import
+// paths, and subtree prefixes when the entry ends in "/".
+func TestDeterminismExemptMatching(t *testing.T) {
+	cases := []struct {
+		exempt []string
+		pkg    string
+		want   bool
+	}{
+		{[]string{"a/serve"}, "a/serve", true},
+		{[]string{"a/serve"}, "a/serve/sub", false},
+		{[]string{"a/serve/"}, "a/serve/sub", true},
+		{[]string{"a/serve/"}, "a/serve", false},
+		{[]string{"a/serve"}, "a/served", false},
+		{nil, "a/serve", false},
+	}
+	for _, tc := range cases {
+		if got := determinismExempt(tc.exempt, tc.pkg); got != tc.want {
+			t.Errorf("determinismExempt(%v, %q) = %v, want %v", tc.exempt, tc.pkg, got, tc.want)
+		}
+	}
+}
+
 func TestMapRangeFixture(t *testing.T) {
 	dir := fixtureDir(t, "maprange")
 	diags := RunFixture(t, dir, &Config{}, MapRangeAnalyzer)

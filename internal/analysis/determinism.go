@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // DeterminismAnalyzer flags reads of nondeterministic process state —
@@ -14,6 +15,10 @@ import (
 //
 // Both calls and bare references are flagged: `f := time.Now` smuggles
 // the clock just as effectively as `time.Now()`.
+//
+// Whole packages on Config.DeterminismExemptPkgs — the serving plane,
+// whose latency numbers are wall-clock by nature and never feed a
+// reproducible artifact — are skipped entirely.
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "wall clock / global rand / pid reads outside clock-injection points",
@@ -41,7 +46,24 @@ var nondetFuncs = map[string]map[string]bool{
 
 func set(names ...string) map[string]bool { return stringSet(names) }
 
+// determinismExempt reports whether pkgPath is covered by the exemption
+// list: an exact entry, or a subtree when the entry ends in "/".
+func determinismExempt(exempt []string, pkgPath string) bool {
+	for _, e := range exempt {
+		if e == pkgPath {
+			return true
+		}
+		if strings.HasSuffix(e, "/") && strings.HasPrefix(pkgPath, e) {
+			return true
+		}
+	}
+	return false
+}
+
 func runDeterminism(pass *Pass) {
+	if determinismExempt(pass.Config.DeterminismExemptPkgs, pass.Pkg.PkgPath) {
+		return
+	}
 	allowed := stringSet(pass.Config.ClockInjectionPoints)
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {

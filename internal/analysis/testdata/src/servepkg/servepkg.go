@@ -1,0 +1,28 @@
+// Package servepkg is a memlint fixture standing in for the serving
+// plane: request handling that reads the wall clock for latency and
+// deadlines. Run WITHOUT an exemption it must produce every finding
+// below; listed on Config.DeterminismExemptPkgs the same package must be
+// completely silent. Simulation packages never get this dispensation —
+// see TestDeterminismExemptionDoesNotLeakToSimPackages.
+package servepkg
+
+import (
+	"os"
+	"time"
+)
+
+// HandleStart stamps a request arrival — wall clock, flagged when the
+// package is not exempt.
+func HandleStart() time.Time {
+	return time.Now() // want "time.Now is nondeterministic"
+}
+
+// Latency measures elapsed request time — flagged when not exempt.
+func Latency(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since is nondeterministic"
+}
+
+// Identity tags log lines with the process id — flagged when not exempt.
+func Identity() int {
+	return os.Getpid() // want "os.Getpid is nondeterministic"
+}

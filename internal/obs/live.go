@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Probe is the liveness/readiness state of a serving process. Liveness is
+// implicit (the process answers at all); readiness is an explicit flag the
+// server flips once its caches are warm and back off during a graceful
+// drain, so load balancers stop routing before the listener closes.
+// Methods are no-ops (and "not ready") on a nil receiver.
+type Probe struct {
+	ready atomic.Bool
+}
+
+// SetReady flips the readiness flag.
+func (p *Probe) SetReady(v bool) {
+	if p == nil {
+		return
+	}
+	p.ready.Store(v)
+}
+
+// Ready reports the readiness flag (false on nil).
+func (p *Probe) Ready() bool {
+	if p == nil {
+		return false
+	}
+	return p.ready.Load()
+}
+
+// Live serves a running Registry over HTTP — the live counterpart to the
+// file exporters written at process exit. The handlers render under the
+// same locks and in the same canonical order as the file exporters, so a
+// quiesced registry scrapes byte-identically to its -metrics artifact,
+// and a registry under concurrent load always scrapes internally
+// consistent histograms (each histogram is snapshotted atomically).
+//
+//	/metrics       Prometheus text exposition format (version 0.0.4)
+//	/metrics.json  the stable-JSON snapshot document
+//	/healthz       200 while the process serves at all
+//	/readyz        200 iff Probe reports ready, else 503
+//
+// OnScrape, when set, runs before each /metrics and /metrics.json render;
+// servers use it to refresh derived gauges (rolling-window quantiles,
+// window QPS) so scraped values are current as of the scrape.
+type Live struct {
+	Registry *Registry
+	Probe    *Probe
+	OnScrape func()
+}
+
+// Mount registers the live-plane routes on mux. A nil receiver mounts
+// nothing.
+func (l *Live) Mount(mux *http.ServeMux) {
+	if l == nil {
+		return
+	}
+	mux.HandleFunc("GET /metrics", l.metrics)
+	mux.HandleFunc("GET /metrics.json", l.metricsJSON)
+	mux.HandleFunc("GET /healthz", l.healthz)
+	mux.HandleFunc("GET /readyz", l.readyz)
+}
+
+// Handler returns a mux with only the live-plane routes mounted.
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	l.Mount(mux)
+	return mux
+}
+
+func (l *Live) scrapeHook() {
+	if l == nil || l.OnScrape == nil {
+		return
+	}
+	l.OnScrape()
+}
+
+func (l *Live) metrics(w http.ResponseWriter, _ *http.Request) {
+	if l == nil {
+		http.Error(w, "no live plane", http.StatusNotFound)
+		return
+	}
+	l.scrapeHook()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// Errors past the header are client disconnects; nothing to do.
+	_ = l.Registry.WritePrometheus(w)
+}
+
+func (l *Live) metricsJSON(w http.ResponseWriter, _ *http.Request) {
+	if l == nil {
+		http.Error(w, "no live plane", http.StatusNotFound)
+		return
+	}
+	l.scrapeHook()
+	w.Header().Set("Content-Type", "application/json")
+	_ = l.Registry.WriteJSON(w)
+}
+
+func (l *Live) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (l *Live) readyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if l == nil || !l.Probe.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ready\n"))
+}
+
+// MountPprof exposes the net/http/pprof handlers (registered on the
+// default mux by the obs package's pprof import) under /debug/pprof/ on
+// mux, so a server can carry the profiling plane on its own listener.
+func MountPprof(mux *http.ServeMux) {
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+}

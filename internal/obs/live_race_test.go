@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestLiveRegistryConcurrentScrape hammers one registry from writer
+// goroutines while scraper goroutines render it over HTTP, under -race.
+// Every scrape must parse as well-formed Prometheus text with internally
+// consistent histograms (+Inf bucket == _count, cumulative buckets
+// nondecreasing), and once the writers quiesce, repeated scrapes must be
+// byte-identical — the live plane inherits the exporters' determinism.
+func TestLiveRegistryConcurrentScrape(t *testing.T) {
+	const (
+		writers    = 8
+		scrapers   = 4
+		iterations = 400
+		scrapes    = 60
+	)
+	reg := NewRegistry()
+	live := &Live{Registry: reg}
+	h := live.Handler()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := reg.Counter("memcontention_race_events_total", "Events.", L{"writer": fmt.Sprintf("%d", w%4)})
+			g := reg.Gauge("memcontention_race_level_ratio", "Level.", nil)
+			hist := reg.Histogram("memcontention_race_latency_seconds", "Latency.", DurationBuckets(), nil)
+			for i := 0; i < iterations; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				hist.Observe(float64(i%7) * 1e-4)
+			}
+		}(w)
+	}
+	scrapeErrs := make(chan error, scrapers)
+	for s := 0; s < scrapers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < scrapes; i++ {
+				if err := checkScrape(h); err != nil {
+					scrapeErrs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(scrapeErrs)
+	for err := range scrapeErrs {
+		t.Error(err)
+	}
+
+	// Quiesced: scrapes are byte-identical and carry the final totals.
+	_, first := get(t, h, "/metrics")
+	_, second := get(t, h, "/metrics.json")
+	_, again := get(t, h, "/metrics")
+	_, againJSON := get(t, h, "/metrics.json")
+	if first != again {
+		t.Error("quiesced Prometheus scrapes differ byte-for-byte")
+	}
+	if second != againJSON {
+		t.Error("quiesced JSON scrapes differ byte-for-byte")
+	}
+	stats, err := ParseExposition(first)
+	if err != nil {
+		t.Fatalf("final scrape does not parse: %v", err)
+	}
+	if got := stats.SumFamily("memcontention_race_events_total"); got != writers*iterations {
+		t.Errorf("final counter total = %g, want %d", got, writers*iterations)
+	}
+}
+
+// checkScrape renders both live endpoints once and validates internal
+// consistency of what came back.
+func checkScrape(h http.Handler) error {
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		return fmt.Errorf("/metrics status %d", rec.Code)
+	}
+	// ParseExposition checks form and +Inf == _count per histogram.
+	if _, err := ParseExposition(rec.Body.String()); err != nil {
+		return fmt.Errorf("mid-load scrape invalid: %w", err)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics.json", nil))
+	var doc struct {
+		Metrics []struct {
+			Name    string `json:"name"`
+			Kind    string `json:"kind"`
+			Count   uint64 `json:"count"`
+			Buckets []struct {
+				Le    json.RawMessage `json:"le"`
+				Count uint64          `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		return fmt.Errorf("mid-load JSON scrape invalid: %w", err)
+	}
+	lastName := ""
+	for _, m := range doc.Metrics {
+		if m.Name < lastName {
+			return fmt.Errorf("JSON scrape out of order: %q after %q", m.Name, lastName)
+		}
+		lastName = m.Name
+		if m.Kind != "histogram" {
+			continue
+		}
+		var prev uint64
+		for _, b := range m.Buckets {
+			if b.Count < prev {
+				return fmt.Errorf("histogram %s buckets not cumulative: %d after %d", m.Name, b.Count, prev)
+			}
+			prev = b.Count
+		}
+		if len(m.Buckets) > 0 && m.Buckets[len(m.Buckets)-1].Count != m.Count {
+			return fmt.Errorf("histogram %s +Inf bucket %d != count %d (torn snapshot)",
+				m.Name, m.Buckets[len(m.Buckets)-1].Count, m.Count)
+		}
+	}
+	return nil
+}

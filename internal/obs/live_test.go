@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func liveFixtureRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("memcontention_live_requests_total", "Requests.", L{"code": "200"}).Add(7)
+	reg.Gauge("memcontention_live_inflight_requests", "In flight.", nil).Set(2)
+	h := reg.Histogram("memcontention_live_latency_seconds", "Latency.", DurationBuckets(), nil)
+	h.Observe(0.001)
+	h.Observe(0.1)
+	return reg
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, string(body)
+}
+
+func TestLiveMetricsMatchesFileExporter(t *testing.T) {
+	reg := liveFixtureRegistry()
+	live := &Live{Registry: reg}
+	rec, body := get(t, live.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+	var file bytes.Buffer
+	if err := reg.WritePrometheus(&file); err != nil {
+		t.Fatal(err)
+	}
+	if body != file.String() {
+		t.Errorf("live scrape diverges from file exporter:\n--- live ---\n%s--- file ---\n%s", body, file.String())
+	}
+	stats, err := ParseExposition(body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if v, ok := stats.Value(`memcontention_live_requests_total{code="200"}`); !ok || v != 7 {
+		t.Errorf("scraped counter = %v, %v; want 7, true", v, ok)
+	}
+	if got := stats.SumFamily("memcontention_live_requests_total"); got != 7 {
+		t.Errorf("SumFamily = %g, want 7", got)
+	}
+}
+
+func TestLiveMetricsJSONMatchesFileExporter(t *testing.T) {
+	reg := liveFixtureRegistry()
+	live := &Live{Registry: reg}
+	rec, body := get(t, live.Handler(), "/metrics.json")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics.json status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json content type = %q", ct)
+	}
+	var file bytes.Buffer
+	if err := reg.WriteJSON(&file); err != nil {
+		t.Fatal(err)
+	}
+	if body != file.String() {
+		t.Errorf("live JSON diverges from file exporter")
+	}
+	var doc struct {
+		Metrics []json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("scrape is not valid JSON: %v", err)
+	}
+	if len(doc.Metrics) != 3 {
+		t.Errorf("got %d metrics, want 3", len(doc.Metrics))
+	}
+}
+
+func TestLiveProbes(t *testing.T) {
+	probe := &Probe{}
+	live := &Live{Registry: NewRegistry(), Probe: probe}
+	h := live.Handler()
+
+	if rec, _ := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", rec.Code)
+	}
+	if rec, _ := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before SetReady = %d, want 503", rec.Code)
+	}
+	probe.SetReady(true)
+	if rec, _ := get(t, h, "/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("/readyz after SetReady = %d, want 200", rec.Code)
+	}
+	probe.SetReady(false)
+	if rec, _ := get(t, h, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after drain = %d, want 503", rec.Code)
+	}
+}
+
+func TestLiveOnScrapeRefreshesDerivedGauges(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("memcontention_live_p99_seconds", "Derived.", nil)
+	calls := 0
+	live := &Live{Registry: reg, OnScrape: func() { calls++; g.Set(float64(calls)) }}
+	h := live.Handler()
+	_, body := get(t, h, "/metrics")
+	if !strings.Contains(body, "memcontention_live_p99_seconds 1") {
+		t.Errorf("first scrape missing refreshed gauge:\n%s", body)
+	}
+	_, body = get(t, h, "/metrics.json")
+	if calls != 2 || !strings.Contains(body, `"value": 2`) {
+		t.Errorf("OnScrape calls = %d, body: %s", calls, body)
+	}
+}
+
+func TestLiveNilSafety(t *testing.T) {
+	var l *Live
+	l.Mount(http.NewServeMux()) // must not panic
+	var p *Probe
+	p.SetReady(true)
+	if p.Ready() {
+		t.Error("nil Probe must not be ready")
+	}
+	// A Live with a nil registry serves the empty document.
+	empty := &Live{}
+	rec, body := get(t, empty.Handler(), "/metrics")
+	if rec.Code != http.StatusOK || body != "" {
+		t.Errorf("nil-registry /metrics = %d %q", rec.Code, body)
+	}
+}
+
+func TestMountPprof(t *testing.T) {
+	mux := http.NewServeMux()
+	MountPprof(mux)
+	rec, _ := get(t, mux, "/debug/pprof/")
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d, want 200", rec.Code)
+	}
+}

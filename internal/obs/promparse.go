@@ -14,6 +14,36 @@ type ExpositionStats struct {
 	Families map[string]string
 	// Samples counts the value lines.
 	Samples int
+	// Values maps each sample series, rendered as name{labels} (or the
+	// bare name when unlabelled), to its parsed value — enough for load
+	// harnesses and smoke tests to read counters and gauges off a live
+	// scrape without a Prometheus client library.
+	Values map[string]float64
+}
+
+// Value reports the value of one series by its exact name{labels}
+// rendering (bare name for unlabelled series).
+func (s *ExpositionStats) Value(series string) (float64, bool) {
+	v, ok := s.Values[series]
+	return v, ok
+}
+
+// SumFamily sums every series of the named family across its label sets,
+// skipping histogram component series (_bucket/_sum/_count are their own
+// families). Summing a labelled counter family (e.g. requests by status
+// code) yields the family total.
+func (s *ExpositionStats) SumFamily(name string) float64 {
+	var total float64
+	for series, v := range s.Values {
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if base == name {
+			total += v
+		}
+	}
+	return total
 }
 
 // ParseExposition validates s as Prometheus text exposition format
@@ -21,7 +51,7 @@ type ExpositionStats struct {
 // _bucket/_sum/_count series) and reports summary statistics. It errors
 // on the first malformed line.
 func ParseExposition(s string) (*ExpositionStats, error) {
-	stats := &ExpositionStats{Families: make(map[string]string)}
+	stats := &ExpositionStats{Families: make(map[string]string), Values: make(map[string]float64)}
 	bucketCounts := make(map[string]uint64) // series (sans le) -> +Inf cumulative count
 	countValues := make(map[string]uint64)  // series -> _count value
 	for lineNo, line := range strings.Split(s, "\n") {
@@ -51,6 +81,11 @@ func ParseExposition(s string) (*ExpositionStats, error) {
 		if !nameRe.MatchString(name) {
 			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo+1, name)
 		}
+		series := name
+		if labels != "" {
+			series = name + "{" + labels + "}"
+		}
+		stats.Values[series] = value
 		switch {
 		case strings.HasSuffix(name, "_bucket"):
 			key := strings.TrimSuffix(name, "_bucket") + "{" + stripLe(labels) + "}"

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Rolling is a rolling-window histogram: observations land in the same
+// fixed log-scale buckets as Histogram, but old observations age out, so
+// quantile estimates track the *recent* distribution instead of the whole
+// process lifetime — the difference between "p99 right now" and "p99
+// since boot" that a live serving path cares about.
+//
+// The window is divided into slices; each observation is counted in the
+// slice holding its timestamp, and slices older than the window are
+// zeroed lazily as the clock advances. Timestamps come from an injected
+// Clock (obs.WallClock in servers, a fake in tests), so the quantile math
+// itself is deterministic: the same observations at the same clock
+// readings always produce the same estimates.
+//
+// All methods are safe for concurrent use and no-ops on a nil receiver,
+// following the package's zero-cost-when-off contract.
+type Rolling struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf bucket implicit
+	slices [][]uint64
+	counts []uint64 // per-slice observation totals
+	sums   []float64
+	slice  time.Duration // duration of one slice
+	epoch  int64         // absolute index of the newest populated slice
+	start  time.Time     // clock reading at construction (slice 0 origin)
+	clock  Clock
+}
+
+// NewRolling builds a rolling histogram over the given bucket bounds
+// (e.g. LatencyBuckets) covering a window of `window`, resolved into
+// `slices` slices. A nil clock uses WallClock.
+func NewRolling(bounds []float64, window time.Duration, slices int, clock Clock) *Rolling {
+	if len(bounds) == 0 {
+		panic("obs: NewRolling needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: NewRolling bounds must be strictly ascending")
+		}
+	}
+	if window <= 0 || slices < 1 {
+		panic("obs: NewRolling needs window > 0 and slices >= 1")
+	}
+	if clock == nil {
+		clock = WallClock
+	}
+	r := &Rolling{
+		bounds: append([]float64(nil), bounds...),
+		slices: make([][]uint64, slices),
+		counts: make([]uint64, slices),
+		sums:   make([]float64, slices),
+		slice:  window / time.Duration(slices),
+		clock:  clock,
+		start:  clock(),
+	}
+	for i := range r.slices {
+		r.slices[i] = make([]uint64, len(bounds)+1)
+	}
+	return r
+}
+
+// advance expires slices that fell out of the window. Callers hold r.mu.
+func (r *Rolling) advance() {
+	cur := int64(r.clock().Sub(r.start) / r.slice)
+	if cur <= r.epoch {
+		return // same slice, or a clock hiccup backwards: keep counting here
+	}
+	n := int64(len(r.slices))
+	if cur-r.epoch >= n {
+		for i := range r.slices {
+			r.zero(i)
+		}
+	} else {
+		for i := r.epoch + 1; i <= cur; i++ {
+			r.zero(int(i % n))
+		}
+	}
+	r.epoch = cur
+}
+
+func (r *Rolling) zero(i int) {
+	for j := range r.slices[i] {
+		r.slices[i][j] = 0
+	}
+	r.counts[i] = 0
+	r.sums[i] = 0
+}
+
+// Observe records one value into the current slice. NaN observations are
+// dropped, matching Histogram.
+func (r *Rolling) Observe(v float64) {
+	if r == nil || math.IsNaN(v) {
+		return
+	}
+	r.mu.Lock()
+	r.advance()
+	i := 0
+	for i < len(r.bounds) && v > r.bounds[i] {
+		i++
+	}
+	s := int(r.epoch % int64(len(r.slices)))
+	r.slices[s][i]++
+	r.counts[s]++
+	r.sums[s] += v
+	r.mu.Unlock()
+}
+
+// Count reports the number of observations currently inside the window
+// (0 on nil).
+func (r *Rolling) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance()
+	var total uint64
+	for _, c := range r.counts {
+		total += c
+	}
+	return total
+}
+
+// Rate reports observations per second over the window (0 on nil or when
+// empty). The denominator is the full window length, so a burst shorter
+// than the window reads as its window-averaged rate.
+func (r *Rolling) Rate() float64 {
+	if r == nil {
+		return 0
+	}
+	window := r.slice * time.Duration(len(r.slices))
+	return float64(r.Count()) / window.Seconds()
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the observations in
+// the window by merging the live slices and linearly interpolating inside
+// the bucket holding the target rank — the same estimator Prometheus'
+// histogram_quantile uses, computed on the fixed log-scale buckets. An
+// empty window (or nil receiver) reports 0. Observations beyond the last
+// bound are clamped to it, so the estimate never exceeds the bucket
+// range.
+func (r *Rolling) Quantile(q float64) float64 {
+	if r == nil || math.IsNaN(q) || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advance()
+	merged := make([]uint64, len(r.bounds)+1)
+	var total uint64
+	for _, s := range r.slices {
+		for j, c := range s {
+			merged[j] += c
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var acc float64
+	for i, c := range merged {
+		next := acc + float64(c)
+		if next >= rank && c > 0 {
+			upper := r.bounds[len(r.bounds)-1]
+			if i < len(r.bounds) {
+				upper = r.bounds[i]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = r.bounds[i-1]
+			}
+			if i >= len(r.bounds) {
+				return upper // +Inf bucket: clamp to the last bound
+			}
+			return lower + (upper-lower)*(rank-acc)/float64(c)
+		}
+		acc = next
+	}
+	return r.bounds[len(r.bounds)-1]
+}
+
+// Quantiles evaluates several quantiles. Each takes the lock and merges
+// the slices independently; call sites scrape at human frequency, so
+// clarity wins over a shared merge.
+func (r *Rolling) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = r.Quantile(q)
+	}
+	return out
+}
+
+// LatencyBuckets covers 10 µs to ~5.2 s in powers of two: the range from
+// a cached in-process prediction to a pathologically slow calibration,
+// fine enough that interpolated p99 estimates resolve a 5 ms budget.
+func LatencyBuckets() []float64 { return ExponentialBuckets(1e-5, 2, 20) }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable Clock for deterministic window tests.
+type manualClock struct{ now time.Time }
+
+func (c *manualClock) clock() time.Time        { return c.now }
+func (c *manualClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func newManualClock() *manualClock             { return &manualClock{now: time.Unix(0, 0)} }
+func newTestRolling(c *manualClock, bounds []float64) *Rolling {
+	return NewRolling(bounds, 4*time.Second, 4, c.clock)
+}
+
+func TestRollingQuantileInterpolation(t *testing.T) {
+	c := newManualClock()
+	r := newTestRolling(c, []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 6, 100} {
+		r.Observe(v)
+	}
+	if got := r.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	// rank 2.5 lands in the (2,4] bucket holding one observation:
+	// 2 + (4-2)*(2.5-2)/1 = 3.
+	if got := r.Quantile(0.5); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g, want 3", got)
+	}
+	// rank 5 lands in the +Inf bucket: clamped to the last bound.
+	if got := r.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) = %g, want clamp to 8", got)
+	}
+	// Identical state must re-estimate identically (determinism).
+	if a, b := r.Quantile(0.9), r.Quantile(0.9); a != b {
+		t.Errorf("Quantile not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestRollingWindowExpiry(t *testing.T) {
+	c := newManualClock()
+	r := newTestRolling(c, LatencyBuckets())
+	r.Observe(0.001) // slice 0
+	c.advance(1 * time.Second)
+	r.Observe(0.002) // slice 1
+	if got := r.Count(); got != 2 {
+		t.Fatalf("Count = %d, want 2", got)
+	}
+	// Jump to slice 4: slices 2, 3 and 0 expire; slice 1 survives.
+	c.advance(3 * time.Second)
+	if got := r.Count(); got != 1 {
+		t.Errorf("after partial expiry Count = %d, want 1", got)
+	}
+	// Jump far past the window: everything expires.
+	c.advance(time.Minute)
+	if got := r.Count(); got != 0 {
+		t.Errorf("after full expiry Count = %d, want 0", got)
+	}
+	if got := r.Quantile(0.99); got != 0 {
+		t.Errorf("empty-window Quantile = %g, want 0", got)
+	}
+}
+
+func TestRollingRate(t *testing.T) {
+	c := newManualClock()
+	r := newTestRolling(c, []float64{1})
+	for i := 0; i < 40; i++ {
+		r.Observe(0.5)
+	}
+	if got := r.Rate(); math.Abs(got-10) > 1e-12 { // 40 obs / 4 s window
+		t.Errorf("Rate = %g, want 10", got)
+	}
+}
+
+func TestRollingNilSafe(t *testing.T) {
+	var r *Rolling
+	r.Observe(1)
+	if r.Count() != 0 || r.Rate() != 0 || r.Quantile(0.5) != 0 {
+		t.Error("nil Rolling must report zeros")
+	}
+	if got := r.Quantiles(0.5, 0.99); len(got) != 2 || got[0] != 0 || got[1] != 0 {
+		t.Errorf("nil Rolling Quantiles = %v, want zeros", got)
+	}
+}
+
+func TestRollingRejectsBadInput(t *testing.T) {
+	c := newManualClock()
+	r := newTestRolling(c, []float64{1, 2})
+	r.Observe(math.NaN())
+	if got := r.Count(); got != 0 {
+		t.Errorf("NaN observation counted: Count = %d", got)
+	}
+	if got := r.Quantile(math.NaN()); got != 0 {
+		t.Errorf("Quantile(NaN) = %g, want 0", got)
+	}
+	for _, fn := range []func(){
+		func() { NewRolling(nil, time.Second, 1, nil) },
+		func() { NewRolling([]float64{2, 1}, time.Second, 1, nil) },
+		func() { NewRolling([]float64{1}, 0, 1, nil) },
+		func() { NewRolling([]float64{1}, time.Second, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid NewRolling arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"memcontention/internal/kernels"
+	"memcontention/internal/model"
+	"memcontention/internal/topology"
+)
+
+// Request is one prediction query: the model's (platform, n, mcomp,
+// mcomm, kernel) input. It arrives either as a JSON body or as query
+// parameters; DecodeRequest normalises both.
+type Request struct {
+	Platform string `json:"platform"`
+	N        int    `json:"n"`
+	MComp    int    `json:"mcomp"`
+	MComm    int    `json:"mcomm"`
+	Kernel   string `json:"kernel,omitempty"`
+}
+
+// Placement converts the request's node pair to the model's type.
+func (q Request) Placement() model.Placement {
+	return model.Placement{Comp: topology.NodeID(q.MComp), Comm: topology.NodeID(q.MComm)}
+}
+
+// Request bounds. N is capped well above any Table I core count so typo'd
+// giant sweeps are rejected instead of ground through the model loop;
+// node ids are capped at the largest plausible NUMA fan-out.
+const (
+	MaxN    = 1 << 16
+	MaxNode = 255
+)
+
+// kernelKinds maps the wire names onto the built-in kernels. The empty
+// name is the calibration default.
+var kernelKinds = map[string]kernels.Kind{
+	"":          kernels.NTMemset,
+	"nt-memset": kernels.NTMemset,
+	"copy":      kernels.Copy,
+	"triad":     kernels.Triad,
+	"load":      kernels.Load,
+}
+
+// KernelNames lists the accepted kernel names in stable order.
+func KernelNames() []string { return []string{"nt-memset", "copy", "triad", "load"} }
+
+// KernelByName resolves a wire kernel name ("" means nt-memset).
+func KernelByName(name string) (kernels.Kind, error) {
+	kind, ok := kernelKinds[name]
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown kernel %q (want one of %s)", name, strings.Join(KernelNames(), ", "))
+	}
+	return kind, nil
+}
+
+// DecodeRequest parses one prediction request from a JSON body (when
+// non-empty) or from query parameters. It is the fuzzed hardening
+// surface: every number is parsed through parseIntField, which rejects
+// NaN, ±Inf, fractions, negatives and out-of-range magnitudes the same
+// way units.ParseByteSize rejects malformed sizes, so no arithmetic
+// downstream ever sees a poisoned value.
+func DecodeRequest(body []byte, query url.Values) (Request, error) {
+	var q Request
+	if len(bytes.TrimSpace(body)) > 0 {
+		w, err := decodeJSONBody(body)
+		if err != nil {
+			return Request{}, err
+		}
+		q = w
+	} else {
+		w, err := decodeQuery(query)
+		if err != nil {
+			return Request{}, err
+		}
+		q = w
+	}
+	return q, validateRequest(&q)
+}
+
+// wireRequest defers number parsing to json.Number so fractions and
+// overflow are caught explicitly rather than silently truncated.
+type wireRequest struct {
+	Platform string      `json:"platform"`
+	N        json.Number `json:"n"`
+	MComp    json.Number `json:"mcomp"`
+	MComm    json.Number `json:"mcomm"`
+	Kernel   string      `json:"kernel"`
+}
+
+func decodeJSONBody(body []byte) (Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	dec.UseNumber()
+	var w wireRequest
+	if err := dec.Decode(&w); err != nil {
+		return Request{}, fmt.Errorf("serve: decode request body: %w", err)
+	}
+	// Trailing content after the object is a malformed request, not a
+	// stream.
+	if dec.More() {
+		return Request{}, fmt.Errorf("serve: trailing data after request object")
+	}
+	q := Request{Platform: w.Platform, Kernel: w.Kernel}
+	var err error
+	if q.N, err = parseIntField("n", w.N.String(), 1, MaxN); err != nil {
+		return Request{}, err
+	}
+	if q.MComp, err = parseIntField("mcomp", orZero(w.MComp), 0, MaxNode); err != nil {
+		return Request{}, err
+	}
+	if q.MComm, err = parseIntField("mcomm", orZero(w.MComm), 0, MaxNode); err != nil {
+		return Request{}, err
+	}
+	return q, nil
+}
+
+// orZero defaults an absent json.Number to "0" (mcomp/mcomm default to
+// node 0, matching the paper's baseline placement).
+func orZero(n json.Number) string {
+	if n.String() == "" {
+		return "0"
+	}
+	return n.String()
+}
+
+func decodeQuery(query url.Values) (Request, error) {
+	q := Request{
+		Platform: query.Get("platform"),
+		Kernel:   query.Get("kernel"),
+	}
+	var err error
+	if q.N, err = parseIntField("n", query.Get("n"), 1, MaxN); err != nil {
+		return Request{}, err
+	}
+	if q.MComp, err = parseIntField("mcomp", defaulted(query.Get("mcomp"), "0"), 0, MaxNode); err != nil {
+		return Request{}, err
+	}
+	if q.MComm, err = parseIntField("mcomm", defaulted(query.Get("mcomm"), "0"), 0, MaxNode); err != nil {
+		return Request{}, err
+	}
+	return q, nil
+}
+
+func defaulted(s, def string) string {
+	if strings.TrimSpace(s) == "" {
+		return def
+	}
+	return s
+}
+
+// parseIntField parses one integer field with the ParseByteSize-style
+// hardening: reject empty, NaN, ±Inf, fractional, negative and
+// out-of-range values with a field-named error.
+func parseIntField(name, s string, min, max int) (int, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("serve: missing %s", name)
+	}
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: parse %s %q: %w", name, s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("serve: %s %q is not finite", name, s)
+	}
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("serve: %s %q is not an integer", name, s)
+	}
+	if v < float64(min) || v > float64(max) {
+		return 0, fmt.Errorf("serve: %s %q out of range [%d, %d]", name, s, min, max)
+	}
+	return int(v), nil
+}
+
+// validateRequest checks the platform and kernel names and normalises the
+// kernel default. Node-range validation against the concrete platform
+// happens at prediction time (the decoder does not know the topology).
+func validateRequest(q *Request) error {
+	if strings.TrimSpace(q.Platform) == "" {
+		return fmt.Errorf("serve: missing platform")
+	}
+	if q.Platform != strings.TrimSpace(q.Platform) {
+		return fmt.Errorf("serve: platform %q has surrounding whitespace", q.Platform)
+	}
+	if _, err := KernelByName(q.Kernel); err != nil {
+		return err
+	}
+	if q.Kernel == "" {
+		q.Kernel = "nt-memset"
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestDecodeRequestQuery(t *testing.T) {
+	q, err := DecodeRequest(nil, url.Values{
+		"platform": {"henri"}, "n": {"12"}, "mcomp": {"0"}, "mcomm": {"1"}, "kernel": {"triad"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Request{Platform: "henri", N: 12, MComp: 0, MComm: 1, Kernel: "triad"}
+	if q != want {
+		t.Errorf("got %+v, want %+v", q, want)
+	}
+}
+
+func TestDecodeRequestJSONBody(t *testing.T) {
+	q, err := DecodeRequest([]byte(`{"platform":"dahu","n":4,"mcomm":1}`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Request{Platform: "dahu", N: 4, MComp: 0, MComm: 1, Kernel: "nt-memset"}
+	if q != want {
+		t.Errorf("got %+v, want %+v", q, want)
+	}
+	// Body wins over query when both are present.
+	q, err = DecodeRequest([]byte(`{"platform":"dahu","n":4}`), url.Values{"platform": {"henri"}, "n": {"9"}})
+	if err != nil || q.Platform != "dahu" || q.N != 4 {
+		t.Errorf("body did not take precedence: %+v, %v", q, err)
+	}
+}
+
+func TestDecodeRequestDefaultsKernel(t *testing.T) {
+	q, err := DecodeRequest(nil, url.Values{"platform": {"henri"}, "n": {"1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kernel != "nt-memset" || q.MComp != 0 || q.MComm != 0 {
+		t.Errorf("defaults wrong: %+v", q)
+	}
+}
+
+func TestDecodeRequestRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		body  string
+		query url.Values
+		want  string // error substring
+	}{
+		{"missing platform", "", url.Values{"n": {"1"}}, "missing platform"},
+		{"missing n", "", url.Values{"platform": {"henri"}}, "missing n"},
+		{"NaN", "", url.Values{"platform": {"henri"}, "n": {"NaN"}}, "not finite"},
+		{"Inf", "", url.Values{"platform": {"henri"}, "n": {"+Inf"}}, "not finite"},
+		{"negative n", "", url.Values{"platform": {"henri"}, "n": {"-3"}}, "out of range"},
+		{"zero n", "", url.Values{"platform": {"henri"}, "n": {"0"}}, "out of range"},
+		{"fractional n", "", url.Values{"platform": {"henri"}, "n": {"1.5"}}, "not an integer"},
+		{"huge n", "", url.Values{"platform": {"henri"}, "n": {"1e30"}}, "out of range"},
+		{"negative node", "", url.Values{"platform": {"henri"}, "n": {"1"}, "mcomm": {"-1"}}, "out of range"},
+		{"garbage n", "", url.Values{"platform": {"henri"}, "n": {"four"}}, "parse n"},
+		{"unknown kernel", "", url.Values{"platform": {"henri"}, "n": {"1"}, "kernel": {"gemm"}}, "unknown kernel"},
+		{"json overflow n", `{"platform":"henri","n":1e999}`, nil, "parse n"},
+		{"json NaN-ish", `{"platform":"henri","n":"NaN"}`, nil, "decode request body"},
+		{"json unknown field", `{"platform":"henri","n":1,"cores":2}`, nil, "unknown field"},
+		{"json trailing", `{"platform":"henri","n":1}{"x":1}`, nil, "trailing data"},
+		{"json truncated", `{"platform":"henri"`, nil, "decode request body"},
+		{"whitespace platform", "", url.Values{"platform": {" henri "}, "n": {"1"}}, "whitespace"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRequest([]byte(tc.body), tc.query)
+			if err == nil {
+				t.Fatal("decode accepted invalid input")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	for _, name := range KernelNames() {
+		if _, err := KernelByName(name); err != nil {
+			t.Errorf("KernelByName(%q): %v", name, err)
+		}
+	}
+	if _, err := KernelByName("sgemm"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeRequest drives the request decoder with arbitrary bytes,
+// interpreted both as a JSON body and as a raw query string — the two
+// wire surfaces a hostile client controls. The decoder must never panic,
+// and anything it accepts must satisfy the documented invariants (the
+// same contract units.ParseByteSize holds for sizes: no NaN, no Inf, no
+// negatives, bounded magnitude).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"platform":"henri","n":4,"mcomp":0,"mcomm":1}`))
+	f.Add([]byte(`{"platform":"dahu","n":64,"kernel":"triad"}`))
+	f.Add([]byte(`{"platform":"pyxis","n":1e309}`))
+	f.Add([]byte(`{"platform":"henri","n":2.5}`))
+	f.Add([]byte(`{"platform":"henri","n":-1}`))
+	f.Add([]byte(`{"platform":"henri","n":1,"extra":true}`))
+	f.Add([]byte(`{"platform":"henri","n":1}{"trailing":1}`))
+	f.Add([]byte("platform=henri&n=12&mcomp=0&mcomm=1"))
+	f.Add([]byte("platform=henri&n=NaN"))
+	f.Add([]byte("platform=henri&n=+Inf&kernel=copy"))
+	f.Add([]byte("platform=occigen&n=0x1p4"))
+	f.Add([]byte("n=9"))
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\xfe{"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		checkDecoded(t, "json", func() (Request, error) {
+			return DecodeRequest(data, nil)
+		})
+		if q, err := url.ParseQuery(string(data)); err == nil {
+			checkDecoded(t, "query", func() (Request, error) {
+				return DecodeRequest(nil, q)
+			})
+		}
+	})
+}
+
+// checkDecoded asserts the accepted-request invariants.
+func checkDecoded(t *testing.T, mode string, decode func() (Request, error)) {
+	t.Helper()
+	q, err := decode()
+	if err != nil {
+		return // rejection is always fine; panics are what fuzzing hunts
+	}
+	if strings.TrimSpace(q.Platform) == "" || q.Platform != strings.TrimSpace(q.Platform) {
+		t.Errorf("%s: accepted platform %q", mode, q.Platform)
+	}
+	if q.N < 1 || q.N > MaxN {
+		t.Errorf("%s: accepted n=%d outside [1, %d]", mode, q.N, MaxN)
+	}
+	if q.MComp < 0 || q.MComp > MaxNode || q.MComm < 0 || q.MComm > MaxNode {
+		t.Errorf("%s: accepted node ids (%d, %d) outside [0, %d]", mode, q.MComp, q.MComm, MaxNode)
+	}
+	if _, err := KernelByName(q.Kernel); err != nil {
+		t.Errorf("%s: accepted unknown kernel %q", mode, q.Kernel)
+	}
+}

@@ -1,0 +1,163 @@
+// Command benchdiff compares a fresh benchjson document against the
+// committed baseline and fails on regressions, so instrumentation
+// overhead creep is caught in review instead of six PRs later.
+//
+// Usage:
+//
+//	go test -bench 'Halo' -benchmem -run '^$' ./... \
+//	  | go run ./scripts/benchjson \
+//	  | go run ./scripts/benchdiff -baseline BENCH_baseline.json
+//	go run ./scripts/benchdiff -baseline BENCH_baseline.json -new fresh.json
+//
+// Benchmarks are matched by (package, name); entries present on only one
+// side are reported but never fail the run (benchmarks come and go).
+// A matched benchmark fails when ns/op or allocs/op grows by more than
+// -tolerance (default 0.15 = 15%) over the baseline. Timings on shared
+// CI runners are noisy — treat a benchdiff failure as "measure properly
+// before merging", which is why the Makefile wires it as advisory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Result mirrors scripts/benchjson's output entry.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+type document struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline benchjson document")
+	newPath := flag.String("new", "-", "fresh benchjson document ('-' reads stdin)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional growth in ns/op and allocs/op")
+	flag.Parse()
+
+	regressions, err := run(os.Stdout, *baselinePath, *newPath, os.Stdin, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", regressions, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+// run diffs the two documents, prints the report to w and returns how
+// many benchmarks regressed beyond tolerance.
+func run(w io.Writer, baselinePath, newPath string, stdin io.Reader, tolerance float64) (int, error) {
+	if tolerance < 0 {
+		return 0, fmt.Errorf("negative tolerance %v", tolerance)
+	}
+	baseline, err := loadFile(baselinePath)
+	if err != nil {
+		return 0, err
+	}
+	var fresh []Result
+	if newPath == "-" {
+		fresh, err = load(stdin, "stdin")
+	} else {
+		fresh, err = loadFile(newPath)
+	}
+	if err != nil {
+		return 0, err
+	}
+
+	base := index(baseline)
+	regressions := 0
+	matched := 0
+	for _, f := range sorted(fresh) {
+		b, ok := base[key(f)]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-50s (no baseline entry)\n", key(f))
+			continue
+		}
+		matched++
+		delete(base, key(f))
+		nsGrowth := growth(b.NsPerOp, f.NsPerOp)
+		allocGrowth := growth(b.AllocsPerOp, f.AllocsPerOp)
+		status := "ok"
+		if nsGrowth > tolerance || allocGrowth > tolerance {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "  %-8s %-50s ns/op %10.0f -> %10.0f (%+6.1f%%)  allocs/op %6.0f -> %6.0f (%+6.1f%%)\n",
+			status, key(f), b.NsPerOp, f.NsPerOp, nsGrowth*100, b.AllocsPerOp, f.AllocsPerOp, allocGrowth*100)
+	}
+	for _, k := range sortedKeys(base) {
+		fmt.Fprintf(w, "  absent   %-50s (in baseline, not in fresh run)\n", k)
+	}
+	if matched == 0 {
+		return 0, fmt.Errorf("no benchmarks in common between %s and %s", baselinePath, newPath)
+	}
+	return regressions, nil
+}
+
+// growth returns the fractional increase from old to new; shrinkage and
+// a zero/absent old value (e.g. no -benchmem allocs column) report 0.
+func growth(old, new float64) float64 {
+	if old <= 0 || new <= old {
+		return 0
+	}
+	return (new - old) / old
+}
+
+func key(r Result) string { return r.Package + "." + r.Name }
+
+func index(rs []Result) map[string]Result {
+	m := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		m[key(r)] = r
+	}
+	return m
+}
+
+func sorted(rs []Result) []Result {
+	out := append([]Result(nil), rs...)
+	sort.Slice(out, func(i, j int) bool { return key(out[i]) < key(out[j]) })
+	return out
+}
+
+func sortedKeys(m map[string]Result) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func loadFile(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return load(f, path)
+}
+
+func load(r io.Reader, name string) ([]Result, error) {
+	var doc document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", name)
+	}
+	return doc.Benchmarks, nil
+}

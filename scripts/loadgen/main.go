@@ -1,0 +1,239 @@
+// Command loadgen drives sustained prediction traffic at a memserve
+// instance and reports achieved throughput and tail latency against
+// budgets — the load proof for the live observability plane: both
+// numbers are read back from the server's own /metrics scrape, not from
+// client-side stopwatches.
+//
+// Usage:
+//
+//	go run ./scripts/loadgen                        # self-host a server in-process
+//	go run ./scripts/loadgen -addr localhost:8080   # target a running memserve
+//	go run ./scripts/loadgen -duration 10s -workers 64 -qps-budget 5000 -p99-budget 5ms
+//
+// With budgets set, loadgen exits 1 when achieved QPS falls below
+// -qps-budget or the server-reported p99 exceeds -p99-budget; with the
+// defaults (0) it only reports. QPS is computed from the delta of
+// memcontention_serve_requests_total{code="200"} between two scrapes
+// bracketing the run; p99 comes from the rolling-window gauge
+// memcontention_serve_latency_quantile_seconds{quantile="0.99"}.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/obs"
+	"memcontention/internal/serve"
+)
+
+type options struct {
+	addr      string
+	platform  string
+	kernel    string
+	n         int
+	workers   int
+	duration  time.Duration
+	qpsBudget float64
+	p99Budget time.Duration
+	seed      uint64
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "", "target a running memserve at this address (default: self-host one in-process)")
+	flag.StringVar(&o.platform, "platform", "henri", "platform to request predictions for")
+	flag.StringVar(&o.kernel, "kernel", "nt-memset", "kernel to request predictions for")
+	flag.IntVar(&o.n, "n", 8, "process count in the requested scenario")
+	flag.IntVar(&o.workers, "workers", 4*runtime.GOMAXPROCS(0), "concurrent client workers")
+	flag.DurationVar(&o.duration, "duration", 3*time.Second, "how long to sustain load")
+	flag.Float64Var(&o.qpsBudget, "qps-budget", 0, "fail unless achieved QPS >= this (0 disables)")
+	flag.DurationVar(&o.p99Budget, "p99-budget", 0, "fail unless server-side p99 <= this (0 disables)")
+	flag.Uint64Var(&o.seed, "seed", 1, "calibration seed for the self-hosted server")
+	flag.Parse()
+
+	ctx, stop := checkpoint.SignalContext()
+	err := run(ctx, os.Stdout, o)
+	stop()
+	if code := checkpoint.Report(os.Stderr, "loadgen", err); code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run(ctx context.Context, stdout io.Writer, o options) error {
+	if o.workers < 1 || o.duration <= 0 {
+		return fmt.Errorf("loadgen: need workers >= 1 and duration > 0 (got %d, %v)", o.workers, o.duration)
+	}
+	base, shutdown, err := target(ctx, o)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        o.workers * 2,
+		MaxIdleConnsPerHost: o.workers * 2,
+	}}
+	url := fmt.Sprintf("%s/predict?platform=%s&n=%d&mcomp=0&mcomm=1&kernel=%s",
+		base, o.platform, o.n, o.kernel)
+
+	// One warm-up request pays the calibration cost outside the window and
+	// verifies the target actually serves this scenario.
+	if err := hit(ctx, client, url); err != nil {
+		return fmt.Errorf("loadgen: warm-up request: %w", err)
+	}
+
+	before, err := scrape(ctx, client, base)
+	if err != nil {
+		return fmt.Errorf("loadgen: pre-run scrape: %w", err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, o.duration)
+	defer cancel()
+	var sent, failed atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < o.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				if err := hit(runCtx, client, url); err != nil {
+					if runCtx.Err() == nil {
+						failed.Add(1)
+					}
+					continue
+				}
+				sent.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrape(ctx, client, base)
+	if err != nil {
+		return fmt.Errorf("loadgen: post-run scrape: %w", err)
+	}
+
+	okBefore, _ := before.Value(`memcontention_serve_requests_total{code="200"}`)
+	okAfter, _ := after.Value(`memcontention_serve_requests_total{code="200"}`)
+	served := okAfter - okBefore
+	qps := served / elapsed.Seconds()
+	p99, p99ok := after.Value(`memcontention_serve_latency_quantile_seconds{quantile="0.99"}`)
+	p50, _ := after.Value(`memcontention_serve_latency_quantile_seconds{quantile="0.5"}`)
+	shed := delta(before, after, "memcontention_serve_shed_total")
+	hits := delta(before, after, "memcontention_serve_cache_hits_total")
+
+	fmt.Fprintf(stdout, "loadgen: %s for %v with %d workers against %s\n", url, elapsed.Round(time.Millisecond), o.workers, base)
+	fmt.Fprintf(stdout, "loadgen: served=%.0f (client ok=%d failed=%d shed=%.0f cache-hits=%.0f)\n",
+		served, sent.Load(), failed.Load(), shed, hits)
+	fmt.Fprintf(stdout, "loadgen: qps=%.0f p50=%s p99=%s (server-reported, rolling window)\n",
+		qps, seconds(p50), seconds(p99))
+
+	if o.qpsBudget > 0 && qps < o.qpsBudget {
+		return fmt.Errorf("loadgen: achieved %.0f QPS, budget %.0f", qps, o.qpsBudget)
+	}
+	if o.p99Budget > 0 {
+		if !p99ok {
+			return fmt.Errorf("loadgen: p99 gauge missing from /metrics; cannot check budget")
+		}
+		if p99 > o.p99Budget.Seconds() {
+			return fmt.Errorf("loadgen: p99 %s over budget %v", seconds(p99), o.p99Budget)
+		}
+	}
+	return nil
+}
+
+// target resolves the base URL: a user-supplied address, or a fully
+// warmed in-process server bound to a loopback port.
+func target(ctx context.Context, o options) (string, func(), error) {
+	if o.addr != "" {
+		return "http://" + strings.TrimPrefix(o.addr, "http://"), func() {}, nil
+	}
+	srv, err := serve.New(serve.Options{
+		Platforms: []string{o.platform},
+		Seed:      o.seed,
+		Registry:  obs.NewRegistry(),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	if err := srv.Warm(ctx); err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srvCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(srvCtx, ln)
+	}()
+	shutdown := func() {
+		cancel()
+		<-done
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// hit performs one prediction request, draining the body so the
+// connection is reused.
+func hit(ctx context.Context, client *http.Client, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// scrape fetches and parses the live Prometheus exposition.
+func scrape(ctx context.Context, client *http.Client, base string) (*obs.ExpositionStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(string(b))
+}
+
+func delta(before, after *obs.ExpositionStats, family string) float64 {
+	return after.SumFamily(family) - before.SumFamily(family)
+}
+
+// seconds renders a latency gauge value as a duration string.
+func seconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoadgenSelfHosted runs a short self-hosted burst and checks the
+// report comes from the live scrape (served count and quantiles present).
+func TestLoadgenSelfHosted(t *testing.T) {
+	var out strings.Builder
+	o := options{
+		platform: "henri", kernel: "nt-memset", n: 8,
+		workers: 2, duration: 300 * time.Millisecond, seed: 1,
+	}
+	if err := run(context.Background(), &out, o); err != nil {
+		t.Fatalf("loadgen run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"served=", "qps=", "p99=", "cache-hits="} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestLoadgenBudgetViolation proves an unmeetable budget fails the run.
+func TestLoadgenBudgetViolation(t *testing.T) {
+	var out strings.Builder
+	o := options{
+		platform: "henri", kernel: "nt-memset", n: 8,
+		workers: 1, duration: 200 * time.Millisecond, seed: 1,
+		qpsBudget: 1e12,
+	}
+	err := run(context.Background(), &out, o)
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("impossible QPS budget did not fail the run: %v", err)
+	}
+}
+
+// TestLoadgenRejectsBadOptions keeps the flag validation honest.
+func TestLoadgenRejectsBadOptions(t *testing.T) {
+	err := run(context.Background(), &strings.Builder{}, options{workers: 0, duration: time.Second})
+	if err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+	err = run(context.Background(), &strings.Builder{}, options{workers: 1, duration: 0})
+	if err == nil {
+		t.Fatal("duration=0 accepted")
+	}
+}
