@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak prof-smoke serve-smoke loadtest fmt
+.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak soak-parallel prof-smoke serve-smoke loadtest fmt
 
 check: lint build race repro benchdiff ## pre-merge gate: lint + build + race tests + reproduction (+ advisory benchdiff)
 
@@ -41,6 +41,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzLoadPlatformFile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzLoadProfileFile$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
+	$(GO) test -fuzz '^FuzzMergeShards$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 
@@ -56,6 +57,13 @@ prof-smoke:
 SOAK_ROUNDS ?= 6
 soak:
 	$(GO) run ./scripts/soak -rounds $(SOAK_ROUNDS)
+
+# soak-parallel soaks the supervised sharded executor: random worker
+# kills mid-shard, whole-campaign kills resumed from the per-shard
+# journals, and a poison-unit quarantine phase — all byte-checked
+# against the sequential baseline (see docs/campaigns.md).
+soak-parallel:
+	$(GO) run ./scripts/soak -parallel -rounds $(SOAK_ROUNDS)
 
 # bench refreshes the benchmark log used to track instrumentation
 # overhead (compare against BENCH_baseline.json).

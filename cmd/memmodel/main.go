@@ -57,6 +57,8 @@ type options struct {
 	faultsPath       string
 	robust           bool
 	robustTrials     int
+	workers          int
+	replications     int
 }
 
 func main() {
@@ -71,6 +73,8 @@ func main() {
 	flag.StringVar(&o.faultsPath, "faults", "", "fault plan JSON file: run the DES cross-check under this plan")
 	flag.BoolVar(&o.robust, "robust", false, "print how calibration errors degrade with benchmark noise")
 	flag.IntVar(&o.robustTrials, "robust-trials", 5, "noise realizations per amplitude for -robust")
+	flag.IntVar(&o.workers, "workers", 0, "parallel evaluations for -replications (0: GOMAXPROCS)")
+	flag.IntVar(&o.replications, "replications", 1, "Monte-Carlo replication sweep: evaluate this many consecutive seeds and print the platform's Table II errors as mean ± 95% CI")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, true)
 	var ckpt checkpoint.CLI
@@ -209,6 +213,28 @@ func modelCampaign(ctx context.Context, w io.Writer, j *checkpoint.Journal, o op
 			row(fmt.Sprintf("±%g%%", pt.NoiseRel*100), pt)
 		}
 		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if o.replications > 1 {
+		// The replication sweep measures the platform's Table II errors
+		// across a consecutive-seed ensemble; each evaluation journals
+		// into j, so an interrupted sweep resumes at evaluation
+		// granularity.
+		rep, rerr := campaign.Replicate(campaign.Config{
+			Seed:         o.seed,
+			Workers:      o.workers,
+			Replications: o.replications,
+			Context:      ctx,
+			Journal:      j,
+			Registry:     reg,
+		}, []string{o.platform}, nil)
+		if rerr != nil {
+			return rerr
+		}
+		if err := rep.Table().WriteText(w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

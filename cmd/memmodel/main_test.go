@@ -84,3 +84,26 @@ func TestPredictionOutput(t *testing.T) {
 		t.Fatalf("unexpected output: %s", out.String())
 	}
 }
+
+// TestReplicationSweepOutput: -replications prints the mean ± CI table
+// and resumes deterministically through the journal.
+func TestReplicationSweepOutput(t *testing.T) {
+	o := testOptions()
+	o.replications = 2
+	o.workers = 2
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, o, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "MEAN ± 95% CI OVER 2 SEEDS") || !strings.Contains(s, "henri") {
+		t.Fatalf("replication table missing:\n%s", s)
+	}
+	var again bytes.Buffer
+	if err := run(context.Background(), &again, o, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("replication sweep is not deterministic")
+	}
+}

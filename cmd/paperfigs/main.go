@@ -12,12 +12,19 @@
 //	paperfigs -table 2         # just Table II
 //	paperfigs -fig 4           # just Figure 4 (CSV to stdout)
 //	paperfigs -out results/    # write all artifacts as files (CSV/JSON/txt)
+//	paperfigs -table 2 -replications 10   # Table II as mean ± 95% CI over 10 seeds
+//	paperfigs -workers 8 -shards run.shards -out results/
+//	                           # supervised sharded executor (docs/campaigns.md)
 //
 // With -checkpoint the evaluations are crash-safe (see docs/resilience.md):
 // every completed placement curve and platform evaluation is journaled,
-// SIGINT/SIGTERM stops the run cleanly (exit status 130), and re-running
-// the same command resumes where it died with bit-identical artifacts
-// (files under -out are also written atomically and durably).
+// SIGINT/SIGTERM stops the run cleanly (exit status 130; a second signal
+// exits immediately), and re-running the same command resumes where it
+// died with bit-identical artifacts (files under -out are also written
+// atomically and durably). With -shards the run instead journals into
+// per-worker shard journals under the given directory, supervised by a
+// restarting worker pool with poison-unit quarantine — the same resume
+// and byte-identity guarantees, but parallel (see docs/campaigns.md).
 package main
 
 import (
@@ -42,13 +49,27 @@ import (
 	"memcontention/internal/topology"
 )
 
+// options are paperfigs' parsed command-line inputs.
+type options struct {
+	table, fig   int
+	out          string
+	seed         uint64
+	workers      int
+	replications int
+	shards       string
+	ascii        bool
+}
+
 func main() {
-	table := flag.Int("table", 0, "emit only this table (1 or 2)")
-	fig := flag.Int("fig", 0, "emit only this figure (2..8)")
-	out := flag.String("out", "", "write artifacts into this directory instead of stdout")
-	seed := flag.Uint64("seed", 1, "measurement noise seed")
-	workers := flag.Int("workers", 0, "parallel evaluations (0: GOMAXPROCS)")
-	ascii := flag.Bool("plot", false, "render figures as ASCII charts instead of CSV")
+	var o options
+	flag.IntVar(&o.table, "table", 0, "emit only this table (1 or 2)")
+	flag.IntVar(&o.fig, "fig", 0, "emit only this figure (2..8)")
+	flag.StringVar(&o.out, "out", "", "write artifacts into this directory instead of stdout")
+	flag.Uint64Var(&o.seed, "seed", 1, "measurement noise seed")
+	flag.IntVar(&o.workers, "workers", 0, "parallel evaluations (0: GOMAXPROCS)")
+	flag.IntVar(&o.replications, "replications", 1, "Monte-Carlo replication sweep: evaluate this many consecutive seeds and report Table II errors as mean ± 95% CI")
+	flag.StringVar(&o.shards, "shards", "", "run the evaluations on the supervised sharded executor, journaling per-worker shards into this directory (crash-safe, resumable; see docs/campaigns.md)")
+	flag.BoolVar(&o.ascii, "plot", false, "render figures as ASCII charts instead of CSV")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine, false)
 	var ckpt checkpoint.CLI
@@ -56,7 +77,7 @@ func main() {
 	flag.Parse()
 
 	ctx, stop := checkpoint.SignalContext()
-	err := run(ctx, os.Stdout, *table, *fig, *out, *seed, *workers, *ascii, &ckpt, &cli)
+	err := run(ctx, os.Stdout, o, &ckpt, &cli)
 	stop()
 	if code := checkpoint.Report(os.Stderr, "paperfigs", err); code != 0 {
 		os.Exit(code)
@@ -77,7 +98,7 @@ var figPlatform = map[int]string{
 // run opens the journal and executes the command core; split from main so
 // tests can drive the full logic with their own context, journal and
 // output sink.
-func run(ctx context.Context, w io.Writer, table, fig int, out string, seed uint64, workers int, ascii bool, ckpt *checkpoint.CLI, cli *obs.CLI) error {
+func run(ctx context.Context, w io.Writer, o options, ckpt *checkpoint.CLI, cli *obs.CLI) error {
 	if err := cli.Start(); err != nil {
 		return err
 	}
@@ -89,9 +110,9 @@ func run(ctx context.Context, w io.Writer, table, fig int, out string, seed uint
 	reg := cli.NewRegistry()
 	j.SetRegistry(reg)
 	man := obs.NewManifest("paperfigs")
-	man.Seed = seed
+	man.Seed = o.seed
 	man.Args = os.Args[1:]
-	if err := dispatch(ctx, w, table, fig, out, seed, workers, ascii, j, reg); err != nil {
+	if err := dispatch(ctx, w, o, j, reg); err != nil {
 		// A graceful shutdown still flushes telemetry: the journal
 		// already holds every completed unit.
 		if checkpoint.IsCanceled(err) {
@@ -105,21 +126,21 @@ func run(ctx context.Context, w io.Writer, table, fig int, out string, seed uint
 // dispatch renders the requested artifacts, recording telemetry into reg
 // (shared by the parallel evaluations; nil disables instrumentation) and
 // checkpointing completed units in j (nil disables checkpointing).
-func dispatch(ctx context.Context, w io.Writer, table, fig int, out string, seed uint64, workers int, ascii bool, j *checkpoint.Journal, reg *obs.Registry) error {
-	if table == 1 {
+func dispatch(ctx context.Context, w io.Writer, o options, j *checkpoint.Journal, reg *obs.Registry) error {
+	if o.table == 1 {
 		return eval.Table1(topology.Testbed()).WriteText(w)
 	}
 	// Everything else needs evaluations; run them in parallel.
 	need := map[string]bool{}
 	switch {
-	case table == 2:
+	case o.table == 2:
 		for _, p := range topology.Testbed() {
 			need[p.Name] = true
 		}
-	case fig != 0:
-		name, ok := figPlatform[fig]
+	case o.fig != 0:
+		name, ok := figPlatform[o.fig]
 		if !ok {
-			return fmt.Errorf("unknown figure %d (valid: 2..8)", fig)
+			return fmt.Errorf("unknown figure %d (valid: 2..8)", o.fig)
 		}
 		need[name] = true
 	default:
@@ -133,13 +154,7 @@ func dispatch(ctx context.Context, w io.Writer, table, fig int, out string, seed
 			names = append(names, p.Name)
 		}
 	}
-	results, err := campaign.EvaluatePlatforms(campaign.Config{
-		Seed:     seed,
-		Workers:  workers,
-		Context:  ctx,
-		Journal:  j,
-		Registry: reg,
-	}, names)
+	results, rep, err := evaluate(ctx, o, j, reg, names)
 	if err != nil {
 		return err
 	}
@@ -149,26 +164,80 @@ func dispatch(ctx context.Context, w io.Writer, table, fig int, out string, seed
 	}
 
 	switch {
-	case table == 2:
-		return eval.Table2(results).WriteText(w)
-	case fig == 2:
+	case o.table == 2:
+		if err := eval.Table2(results).WriteText(w); err != nil {
+			return err
+		}
+		return writeReplications(w, rep)
+	case o.fig == 2:
 		st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
 		if err != nil {
 			return err
 		}
 		return st.WriteCSV(w)
-	case fig != 0:
-		r := byName[figPlatform[fig]]
-		figure := eval.FigureFor(fmt.Sprintf("figure%d", fig), r)
-		if ascii {
+	case o.fig != 0:
+		r := byName[figPlatform[o.fig]]
+		figure := eval.FigureFor(fmt.Sprintf("figure%d", o.fig), r)
+		if o.ascii {
 			return writeASCII(w, figure)
 		}
 		return figure.WriteCSV(w)
-	case out != "":
-		return writeAll(w, out, results, byName)
+	case o.out != "":
+		return writeAll(w, o.out, results, byName, rep)
 	default:
-		return printAll(w, results, byName)
+		if err := printAll(w, results, byName); err != nil {
+			return err
+		}
+		return writeReplications(w, rep)
 	}
+}
+
+// evaluate runs the needed platform evaluations — on the supervised
+// sharded executor when -shards names a journal directory, on the plain
+// parallel sweep otherwise — plus the replication sweep when asked.
+func evaluate(ctx context.Context, o options, j *checkpoint.Journal, reg *obs.Registry, names []string) ([]*eval.PlatformResult, *campaign.ReplicationSummary, error) {
+	cfg := campaign.Config{
+		Seed:         o.seed,
+		Workers:      o.workers,
+		Replications: o.replications,
+		Context:      ctx,
+		Journal:      j,
+		Registry:     reg,
+	}
+	if o.shards != "" {
+		res, err := campaign.ShardedEvaluate(cfg, campaign.ShardOptions{Workers: o.workers, Dir: o.shards}, names)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rep *campaign.ReplicationSummary
+		if res.Artifacts != nil {
+			rep = res.Artifacts.Replications
+		}
+		return res.Platforms, rep, nil
+	}
+	results, err := campaign.EvaluatePlatforms(cfg, names)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep *campaign.ReplicationSummary
+	if o.replications > 1 {
+		if rep, err = campaign.Replicate(cfg, names, results); err != nil {
+			return nil, nil, err
+		}
+	}
+	return results, rep, nil
+}
+
+// writeReplications renders the replication sweep table (a no-op without
+// one).
+func writeReplications(w io.Writer, rep *campaign.ReplicationSummary) error {
+	if rep == nil {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return rep.Table().WriteText(w)
 }
 
 // writeASCII renders each subplot of a figure as two terminal charts
@@ -231,8 +300,8 @@ func printAll(w io.Writer, results []*eval.PlatformResult, byName map[string]*ev
 	return nil
 }
 
-func writeAll(w io.Writer, dir string, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func writeAll(w io.Writer, dir string, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult, rep *campaign.ReplicationSummary) error {
+	if err := atomicio.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	// Artifacts are rendered in memory and written atomically + durably
@@ -259,6 +328,18 @@ func writeAll(w io.Writer, dir string, results []*eval.PlatformResult, byName ma
 		return export.WriteJSON(f, results)
 	}); err != nil {
 		return err
+	}
+	if rep != nil {
+		if err := write("replications.txt", func(f io.Writer) error {
+			return rep.Table().WriteText(f)
+		}); err != nil {
+			return err
+		}
+		if err := write("replications.json", func(f io.Writer) error {
+			return export.WriteJSON(f, rep)
+		}); err != nil {
+			return err
+		}
 	}
 	st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
 	if err != nil {

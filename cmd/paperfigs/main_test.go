@@ -21,7 +21,7 @@ func TestOutKillResumeByteIdenticalArtifacts(t *testing.T) {
 	base := t.TempDir()
 	freshDir := filepath.Join(base, "fresh")
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, 0, 0, freshDir, 1, 2, false, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+	if err := run(context.Background(), &buf, options{out: freshDir, seed: 1, workers: 2, replications: 1}, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -38,7 +38,7 @@ func TestOutKillResumeByteIdenticalArtifacts(t *testing.T) {
 		}
 	}
 	resumedDir := filepath.Join(base, "resumed")
-	err = dispatch(ctx, &buf, 0, 0, resumedDir, 1, 2, false, j, nil)
+	err = dispatch(ctx, &buf, options{out: resumedDir, seed: 1, workers: 2, replications: 1}, j, nil)
 	if !checkpoint.IsCanceled(err) {
 		t.Fatalf("err = %v, want cancellation", err)
 	}
@@ -47,7 +47,7 @@ func TestOutKillResumeByteIdenticalArtifacts(t *testing.T) {
 	}
 
 	ckpt := &checkpoint.CLI{Path: jpath, Resume: true}
-	if err := run(context.Background(), &buf, 0, 0, resumedDir, 1, 2, false, ckpt, &obs.CLI{}); err != nil {
+	if err := run(context.Background(), &buf, options{out: resumedDir, seed: 1, workers: 2, replications: 1}, ckpt, &obs.CLI{}); err != nil {
 		t.Fatalf("resume failed: %v", err)
 	}
 
@@ -75,10 +75,56 @@ func TestOutKillResumeByteIdenticalArtifacts(t *testing.T) {
 
 func TestTable2ToWriter(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, 1, 0, "", 1, 0, false, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+	if err := run(context.Background(), &out, options{table: 1, seed: 1, replications: 1}, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() == 0 {
 		t.Fatal("no output for -table 1")
+	}
+}
+
+// TestShardedOutMatchesSequential drives the -shards path end to end:
+// the supervised sharded executor must write -out artifacts byte
+// identical to the plain sequential run, and -replications must add the
+// replication summary artifacts.
+func TestShardedOutMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed evaluation")
+	}
+	base := t.TempDir()
+	seqDir := filepath.Join(base, "seq")
+	var buf bytes.Buffer
+	if err := run(context.Background(), &buf, options{out: seqDir, seed: 1, workers: 2, replications: 2}, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+		t.Fatal(err)
+	}
+	shardedDir := filepath.Join(base, "sharded")
+	o := options{out: shardedDir, seed: 1, workers: 4, replications: 2, shards: filepath.Join(base, "run.shards")}
+	if err := run(context.Background(), &buf, o, &checkpoint.CLI{}, &obs.CLI{}); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(seqDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawReplications := false
+	for _, e := range entries {
+		if e.Name() == "replications.txt" {
+			sawReplications = true
+		}
+		want, err := os.ReadFile(filepath.Join(seqDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(shardedDir, e.Name()))
+		if err != nil {
+			t.Fatalf("sharded run missing artifact %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("artifact %s differs between sequential and sharded run", e.Name())
+		}
+	}
+	if !sawReplications {
+		t.Fatal("replicated run wrote no replications.txt")
 	}
 }

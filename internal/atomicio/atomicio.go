@@ -100,6 +100,53 @@ func WriteStream(path string, perm os.FileMode, fn func(io.Writer) error) error 
 	return nil
 }
 
+// MkdirAll creates dir and any missing parents like os.MkdirAll, then
+// fsyncs every directory it actually created (deepest first) plus the
+// parent of the topmost new one, so the whole fresh chain survives power
+// loss. Creating an artifact or shard-journal directory with a bare
+// os.MkdirAll leaves the new entries only in the page cache: a crash
+// right after could silently drop the directory — and every journal in
+// it — violating the resume contract.
+func MkdirAll(dir string, perm os.FileMode) error {
+	dir = filepath.Clean(dir)
+	// Walk up to the first ancestor that already exists.
+	var created []string
+	p := dir
+	for {
+		if _, err := os.Stat(p); err == nil {
+			break
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("atomicio: mkdir %s: %w", dir, err)
+		}
+		created = append(created, p)
+		parent := filepath.Dir(p)
+		if parent == p {
+			break
+		}
+		p = parent
+	}
+	if err := os.MkdirAll(dir, perm); err != nil {
+		return fmt.Errorf("atomicio: mkdir %s: %w", dir, err)
+	}
+	if len(created) == 0 {
+		return nil
+	}
+	// Sync deepest-first, then the surviving parent that gained the
+	// topmost new entry.
+	for _, c := range created {
+		if err := SyncDir(c); err != nil {
+			return fmt.Errorf("atomicio: mkdir %s: %w", dir, err)
+		}
+	}
+	top := created[len(created)-1]
+	if parent := filepath.Dir(top); parent != top {
+		if err := SyncDir(parent); err != nil {
+			return fmt.Errorf("atomicio: mkdir %s: %w", dir, err)
+		}
+	}
+	return nil
+}
+
 // SyncDir fsyncs a directory so that a just-created, renamed or removed
 // entry in it survives power loss. Platforms whose directory handles
 // reject fsync (some network and FAT filesystems) report ineffectiveness

@@ -153,3 +153,34 @@ func TestWriteStreamCrashLeavesNoTornArtifact(t *testing.T) {
 		t.Fatalf("staged temporary left behind: %v", names)
 	}
 }
+
+func TestMkdirAllCreatesChainAndIsIdempotent(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "a", "b", "c")
+	if err := MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(dir)
+	if err != nil || !info.IsDir() {
+		t.Fatalf("stat %s: %v", dir, err)
+	}
+	// Existing chain: a no-op, not an error.
+	if err := MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The new directory is usable by the durable write path immediately.
+	if err := WriteFile(filepath.Join(dir, "f"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMkdirAllRejectsFileInTheWay(t *testing.T) {
+	root := t.TempDir()
+	blocker := filepath.Join(root, "x")
+	if err := os.WriteFile(blocker, []byte("file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MkdirAll(filepath.Join(blocker, "sub"), 0o755); err == nil {
+		t.Fatal("MkdirAll through a regular file succeeded")
+	}
+}

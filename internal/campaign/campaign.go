@@ -63,6 +63,12 @@ type Config struct {
 	// FaultPlan, when set, runs the DES cross-check under fault
 	// injection guarded by MPI resilience and a watchdog.
 	FaultPlan *faults.Plan
+	// Replications > 1 runs the Monte-Carlo replication sweep: every
+	// platform is evaluated once per seed in {Seed, Seed+1, ...} and the
+	// pipeline artifacts gain a per-platform mean/stddev/CI95 summary of
+	// the Table II error metrics (see Replicate). 0 and 1 both mean a
+	// single replication, the plain pipeline.
+	Replications int
 }
 
 func (c Config) withDefaults() Config {

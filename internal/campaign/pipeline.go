@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"memcontention/internal/atomicio"
@@ -22,6 +21,9 @@ type Artifacts struct {
 	Platforms  []*eval.PlatformResult `json:"platforms"`
 	Netbench   []netbench.Point       `json:"netbench"`
 	CrossCheck *CrossCheckResult      `json:"cross_check"`
+	// Replications is the Monte-Carlo replication sweep summary, present
+	// only when the campaign ran with Config.Replications > 1.
+	Replications *ReplicationSummary `json:"replications,omitempty"`
 }
 
 // Pipeline runs the full Table II campaign: evaluate the named platforms
@@ -46,29 +48,52 @@ func Pipeline(cfg Config, names []string) (*Artifacts, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Artifacts{Seed: cfg.Seed, Platforms: results, Netbench: points, CrossCheck: xc}, nil
+	art := &Artifacts{Seed: cfg.Seed, Platforms: results, Netbench: points, CrossCheck: xc}
+	if cfg.Replications > 1 {
+		rep, err := Replicate(cfg, names, results)
+		if err != nil {
+			return nil, err
+		}
+		art.Replications = rep
+	}
+	return art, nil
 }
 
 // Write stores the artifacts in dir: table2.json / table2.txt (the model
-// errors in machine and paper form), netbench.json and crosscheck.json.
+// errors in machine and paper form), netbench.json, crosscheck.json and
+// — for replicated campaigns — replications.json / replications.txt.
 // Every file is written atomically and durably (temp + fsync + rename),
 // so a crash during Write never leaves a torn artifact.
 func (a *Artifacts) Write(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	// The directory itself is made durable (each created level fsynced):
+	// artifacts that survive a crash only inside a directory entry the
+	// filesystem may drop are not durable at all.
+	if err := atomicio.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	var table bytes.Buffer
 	if err := eval.Table2(a.Platforms).WriteText(&table); err != nil {
 		return err
 	}
-	files := []struct {
+	type artifactFile struct {
 		name string
 		data func() ([]byte, error)
-	}{
+	}
+	files := []artifactFile{
 		{"table2.txt", func() ([]byte, error) { return table.Bytes(), nil }},
 		{"table2.json", func() ([]byte, error) { return marshal(a.Platforms) }},
 		{"netbench.json", func() ([]byte, error) { return marshal(a.Netbench) }},
 		{"crosscheck.json", func() ([]byte, error) { return marshal(a.CrossCheck) }},
+	}
+	if a.Replications != nil {
+		var reptxt bytes.Buffer
+		if err := a.Replications.Table().WriteText(&reptxt); err != nil {
+			return err
+		}
+		files = append(files,
+			artifactFile{"replications.txt", func() ([]byte, error) { return reptxt.Bytes(), nil }},
+			artifactFile{"replications.json", func() ([]byte, error) { return marshal(a.Replications) }},
+		)
 	}
 	for _, f := range files {
 		data, err := f.data()

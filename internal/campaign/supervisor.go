@@ -1,0 +1,647 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"memcontention/internal/checkpoint"
+	"memcontention/internal/eval"
+	"memcontention/internal/obs"
+	"memcontention/internal/sweep"
+)
+
+// ShardOptions parameterises the supervised sharded executor. The zero
+// value runs with GOMAXPROCS workers, three attempts per unit, a
+// deterministic exponential backoff, and shard journals in a throwaway
+// temporary directory (no resume).
+type ShardOptions struct {
+	// Workers is the worker count and therefore the shard count
+	// (0: GOMAXPROCS). Worker w owns shard journal shard-000w.ckpt.
+	Workers int
+	// Dir is the shard-set directory holding the per-shard journals, the
+	// merged journal and the quarantine report. Empty uses a temporary
+	// directory removed after the run — parallelism without resume.
+	Dir string
+	// MaxAttempts bounds how often one unit may fail (error or panic)
+	// before it is quarantined (default 3).
+	MaxAttempts int
+	// Backoff returns the delay before retry `attempt` (1-based) of a
+	// failed unit. The default doubles from 10ms and saturates at 1s —
+	// deterministic, no jitter, so campaigns stay reproducible.
+	Backoff func(attempt int) time.Duration
+	// Sleep waits for the backoff delay; tests inject a no-op. The
+	// default honors ctx so graceful shutdown never waits out a backoff.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	// KillHook, when set, is consulted before a worker starts a unit;
+	// returning true kills that worker (the goroutine dies as if the OS
+	// had killed a process). The supervisor restarts the worker and
+	// re-enqueues the unit without charging an attempt — infrastructure
+	// kills are not the unit's fault. The soak harness uses this to
+	// prove kill-and-resume byte-identity under worker churn.
+	KillHook func(shard int, key string) bool
+	// FaultHook, when set, runs before each unit attempt and may return
+	// an error to inject a unit failure (attempt charged). The poison
+	// and retry tests use it.
+	FaultHook func(key string, attempt int) error
+	// UnitDone, when set, is called after each durably journaled unit
+	// with the total completed so far. The soak harness cancels the
+	// campaign here to model whole-process kills at unit boundaries.
+	UnitDone func(completed int)
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.Workers <= 0 {
+		o.Workers = sweep.DefaultWorkers()
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Backoff == nil {
+		o.Backoff = func(attempt int) time.Duration {
+			d := 10 * time.Millisecond << uint(attempt-1)
+			if d > time.Second {
+				d = time.Second
+			}
+			return d
+		}
+	}
+	if o.Sleep == nil {
+		o.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return o
+}
+
+// workerKill is the panic payload KillHook injects: it kills the worker
+// goroutine without blaming the in-flight unit.
+type workerKill struct {
+	shard int
+	key   string
+}
+
+// supervisorMetrics are the sharded executor's telemetry instruments;
+// with no registry every field is nil and records nothing.
+type supervisorMetrics struct {
+	units       *obs.Gauge
+	done        *obs.Gauge
+	quarantined *obs.Counter
+	retries     *obs.Counter
+	stolen      *obs.Counter
+	restarts    *obs.Counter
+	shardDone   []*obs.Gauge
+	shardPend   []*obs.Gauge
+}
+
+func newSupervisorMetrics(r *obs.Registry, shards int) supervisorMetrics {
+	m := supervisorMetrics{
+		units:       r.Gauge("memcontention_campaign_units", "Experiment units in the sharded campaign.", nil),
+		done:        r.Gauge("memcontention_campaign_units_done", "Experiment units completed (journaled), all shards.", nil),
+		quarantined: r.Counter("memcontention_campaign_units_quarantined_total", "Units quarantined after exhausting their retry budget.", nil),
+		retries:     r.Counter("memcontention_campaign_unit_retries_total", "Unit attempts retried after a failure.", nil),
+		stolen:      r.Counter("memcontention_campaign_units_stolen_total", "Units executed by a worker other than their home shard.", nil),
+		restarts:    r.Counter("memcontention_campaign_worker_restarts_total", "Workers restarted by the supervisor after a kill or panic.", nil),
+	}
+	for i := 0; i < shards; i++ {
+		lbl := obs.L{"shard": fmt.Sprintf("%d", i)}
+		m.shardDone = append(m.shardDone, r.Gauge("memcontention_campaign_shard_units_done", "Completed units by home shard.", lbl))
+		m.shardPend = append(m.shardPend, r.Gauge("memcontention_campaign_shard_units_pending", "Pending units by home shard.", lbl))
+	}
+	return m
+}
+
+// unitState tracks one unit through the scheduler.
+type unitState struct {
+	unit     unit
+	shard    int // home shard
+	attempts int
+	lastErr  error
+}
+
+// Supervisor executes a unit set across a pool of workers it supervises:
+// work-stealing scheduling over per-shard queues, per-shard append-only
+// journals, bounded retries with backoff, quarantine for poison units,
+// and worker restart after kills or panics. Create one with
+// newSupervisor and drive it with run; the exported entry points
+// (ShardedPipeline, ShardedEvaluate) wrap it for the standard campaigns.
+type Supervisor struct {
+	cfg  Config
+	opts ShardOptions
+	set  *checkpoint.ShardSet
+	m    supervisorMetrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   [][]*unitState // pending, per home shard
+	inflight int
+	unitsAll int
+	doneKeys map[string]bool
+	perShard []shardCounters
+	quar     []QuarantineRecord
+	restarts int
+	stolen   int
+	canceled bool
+
+	journals []*checkpoint.Journal
+}
+
+// shardCounters aggregates one home shard's progress for ProgressReport.
+type shardCounters struct {
+	done        int
+	pending     int
+	quarantined int
+}
+
+func newSupervisor(cfg Config, opts ShardOptions) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	opts = opts.withDefaults()
+	set, err := checkpoint.OpenShardSet(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		cfg:      cfg,
+		opts:     opts,
+		set:      set,
+		m:        newSupervisorMetrics(cfg.Registry, opts.Workers),
+		doneKeys: make(map[string]bool),
+		queues:   make([][]*unitState, opts.Workers),
+		perShard: make([]shardCounters, opts.Workers),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// loadDone unions the keys of every existing shard journal (previous
+// runs included, even wider ones) into the done set.
+func (s *Supervisor) loadDone() error {
+	paths, err := s.set.Paths()
+	if err != nil {
+		return err
+	}
+	entries, err := checkpoint.MergeShardFiles(paths)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		s.doneKeys[e.Key] = true
+	}
+	return nil
+}
+
+// openJournals opens this run's per-worker shard journals.
+func (s *Supervisor) openJournals() error {
+	s.journals = make([]*checkpoint.Journal, s.opts.Workers)
+	for i := range s.journals {
+		j, err := s.set.OpenShard(i)
+		if err != nil {
+			s.closeJournals()
+			return err
+		}
+		j.SetRegistry(s.cfg.Registry)
+		s.journals[i] = j
+	}
+	return nil
+}
+
+func (s *Supervisor) closeJournals() {
+	for _, j := range s.journals {
+		j.Close()
+	}
+	s.journals = nil
+}
+
+// enqueue distributes the not-yet-done units to their home shard queues.
+func (s *Supervisor) enqueue(units []unit) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unitsAll = len(units)
+	for _, u := range units {
+		home := homeShard(u.Key, s.opts.Workers)
+		if s.doneKeys[u.Key] {
+			s.perShard[home].done++
+			continue
+		}
+		s.queues[home] = append(s.queues[home], &unitState{unit: u, shard: home})
+		s.perShard[home].pending++
+	}
+	s.m.units.Set(float64(s.unitsAll))
+	s.publishLocked()
+}
+
+// publishLocked refreshes the progress gauges; callers hold mu.
+func (s *Supervisor) publishLocked() {
+	done := 0
+	for i, c := range s.perShard {
+		done += c.done
+		s.m.shardDone[i].Set(float64(c.done))
+		s.m.shardPend[i].Set(float64(c.pending))
+	}
+	s.m.done.Set(float64(done))
+}
+
+// next hands worker w its next unit: its own queue first, then — work
+// stealing — the head of the longest other queue. It blocks while every
+// pending unit is in flight (a retry may come back) and returns nil once
+// nothing is pending or in flight, or the campaign is canceled.
+func (s *Supervisor) next(w int) *unitState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.canceled {
+			return nil
+		}
+		if len(s.queues[w]) > 0 {
+			st := s.queues[w][0]
+			s.queues[w] = s.queues[w][1:]
+			s.inflight++
+			return st
+		}
+		// Steal from the richest queue; ties go to the lowest shard so
+		// scheduling stays deterministic given identical queue states.
+		victim, best := -1, 0
+		for i := range s.queues {
+			if n := len(s.queues[i]); n > best {
+				victim, best = i, n
+			}
+		}
+		if victim >= 0 {
+			st := s.queues[victim][0]
+			s.queues[victim] = s.queues[victim][1:]
+			s.inflight++
+			s.stolen++
+			s.m.stolen.Inc()
+			return st
+		}
+		if s.inflight == 0 {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// complete records a successful unit.
+func (s *Supervisor) complete(st *unitState) {
+	s.mu.Lock()
+	s.inflight--
+	s.doneKeys[st.unit.Key] = true
+	s.perShard[st.shard].done++
+	s.perShard[st.shard].pending--
+	s.publishLocked()
+	completed := 0
+	for _, c := range s.perShard {
+		completed += c.done
+	}
+	hook := s.opts.UnitDone
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if hook != nil {
+		hook(completed)
+	}
+}
+
+// fail charges a failed attempt: re-enqueue on the home shard below the
+// attempt budget, quarantine at it.
+func (s *Supervisor) fail(st *unitState, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	st.attempts++
+	st.lastErr = cause
+	if st.attempts < s.opts.MaxAttempts {
+		s.queues[st.shard] = append(s.queues[st.shard], st)
+		s.m.retries.Inc()
+		s.cond.Broadcast()
+		return
+	}
+	uerr := &UnitError{Key: st.unit.Key, Shard: st.shard, Attempts: st.attempts, Err: cause}
+	s.quar = append(s.quar, QuarantineRecord{
+		Key:      st.unit.Key,
+		Shard:    st.shard,
+		Attempts: st.attempts,
+		Error:    uerr.Error(),
+	})
+	s.perShard[st.shard].quarantined++
+	s.perShard[st.shard].pending--
+	s.m.quarantined.Inc()
+	s.cond.Broadcast()
+}
+
+// requeue puts a unit whose worker was killed back at the front of its
+// home queue, attempt budget untouched.
+func (s *Supervisor) requeue(st *unitState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight--
+	s.queues[st.shard] = append([]*unitState{st}, s.queues[st.shard]...)
+	s.cond.Broadcast()
+}
+
+// cancel wakes every worker so the drain finishes promptly.
+func (s *Supervisor) cancel() {
+	s.mu.Lock()
+	s.canceled = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// runUnit executes one attempt of st on worker w. Panics escape to the
+// worker loop (the worker dies and is restarted; the supervisor decides
+// whether the unit is charged).
+func (s *Supervisor) runUnit(w int, st *unitState) error {
+	if s.opts.FaultHook != nil {
+		if err := s.opts.FaultHook(st.unit.Key, st.attempts+1); err != nil {
+			return err
+		}
+	}
+	if st.attempts > 0 {
+		if err := s.opts.Sleep(s.cfg.ctx(), s.opts.Backoff(st.attempts)); err != nil {
+			return err
+		}
+	}
+	wcfg := s.cfg
+	wcfg.Journal = s.journals[w]
+	wcfg.Workers = 1 // the unit is the parallelism grain
+	if err := st.unit.run(wcfg); err != nil {
+		return err
+	}
+	if !wcfg.Journal.Has(st.unit.Key) {
+		return fmt.Errorf("campaign: unit %s completed without journaling its key", st.unit.Key)
+	}
+	return nil
+}
+
+// worker is one supervised worker goroutine. It reports its own death
+// (kill or panic) on died; a clean drain reports on drained.
+func (s *Supervisor) worker(w int, ctx context.Context, died chan<- workerDeath, drained chan<- int) {
+	var current *unitState
+	defer func() {
+		if p := recover(); p != nil {
+			died <- workerDeath{worker: w, unit: current, cause: p}
+		}
+	}()
+	for {
+		if ctx.Err() != nil {
+			s.cancel()
+		}
+		st := s.next(w)
+		if st == nil {
+			drained <- w
+			return
+		}
+		current = st
+		if s.opts.KillHook != nil && s.opts.KillHook(w, st.unit.Key) {
+			panic(workerKill{shard: w, key: st.unit.Key})
+		}
+		err := s.runUnit(w, st)
+		current = nil
+		switch {
+		case err == nil:
+			s.complete(st)
+		case checkpoint.IsCanceled(err):
+			// A canceled unit did not fail — it must re-run on resume.
+			s.requeue(st)
+			s.cancel()
+		default:
+			s.fail(st, err)
+		}
+	}
+}
+
+// workerDeath reports a worker that died with the unit it was holding.
+type workerDeath struct {
+	worker int
+	unit   *unitState
+	cause  any
+}
+
+// run executes units to completion: started workers are supervised and
+// restarted when they die, failed units retry with backoff and
+// quarantine when poisoned, and a context cancellation drains the pool
+// at unit boundaries. It returns the quarantine records (already written
+// to quarantine.jsonl in the shard directory) alongside any campaign
+// error.
+func (s *Supervisor) run(units []unit) ([]QuarantineRecord, error) {
+	if err := s.loadDone(); err != nil {
+		return nil, err
+	}
+	if err := s.openJournals(); err != nil {
+		return nil, err
+	}
+	defer s.closeJournals()
+	s.enqueue(units)
+
+	ctx := s.cfg.ctx()
+	died := make(chan workerDeath)
+	drained := make(chan int)
+	for w := 0; w < s.opts.Workers; w++ {
+		go s.worker(w, ctx, died, drained)
+	}
+	alive := s.opts.Workers
+	for alive > 0 {
+		select {
+		case d := <-died:
+			// Restart the worker; decide what its in-flight unit pays.
+			if d.unit != nil {
+				if _, killed := d.cause.(workerKill); killed {
+					s.requeue(d.unit)
+				} else {
+					s.fail(d.unit, fmt.Errorf("campaign: worker %d panic: %v", d.worker, d.cause))
+				}
+			}
+			s.mu.Lock()
+			s.restarts++
+			s.mu.Unlock()
+			s.m.restarts.Inc()
+			go s.worker(d.worker, ctx, died, drained)
+		case <-drained:
+			alive--
+		}
+	}
+
+	s.mu.Lock()
+	quar := append([]QuarantineRecord(nil), s.quar...)
+	s.mu.Unlock()
+	if err := writeQuarantine(filepath.Join(s.set.Dir(), QuarantineFile), quar); err != nil {
+		return quar, err
+	}
+	if err := ctx.Err(); err != nil {
+		return quar, fmt.Errorf("campaign: sharded run interrupted: %w", err)
+	}
+	return quar, nil
+}
+
+// Progress reports the sharded campaign's completion state per home
+// shard plus the quarantine, steal and restart totals; the same numbers
+// feed the memcontention_campaign_* gauges.
+func (s *Supervisor) Progress() ProgressReport {
+	if s == nil {
+		return ProgressReport{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := ProgressReport{
+		Units:    s.unitsAll,
+		Restarts: s.restarts,
+		Stolen:   s.stolen,
+	}
+	for i, c := range s.perShard {
+		p.Shards = append(p.Shards, ShardProgress{
+			Shard:       i,
+			Done:        c.done,
+			Pending:     c.pending,
+			Quarantined: c.quarantined,
+		})
+		p.Done += c.done
+		p.Quarantined += c.quarantined
+	}
+	return p
+}
+
+// ShardResult is the outcome of a sharded campaign run.
+type ShardResult struct {
+	// Artifacts holds the assembled pipeline artifacts (ShardedPipeline
+	// only; nil when units were quarantined).
+	Artifacts *Artifacts
+	// Platforms holds the assembled evaluations in input order
+	// (ShardedEvaluate only; nil when units were quarantined).
+	Platforms []*eval.PlatformResult
+	// Quarantine lists the quarantined units, sorted by key; the same
+	// records are in quarantine.jsonl under Dir.
+	Quarantine []QuarantineRecord
+	// Progress is the final per-shard completion report.
+	Progress ProgressReport
+	// Dir is the shard-set directory (journal files, merged journal,
+	// quarantine report).
+	Dir string
+}
+
+// shardedRun is the common core of ShardedPipeline and ShardedEvaluate:
+// enumerate units, execute them supervised, merge the shard journals and
+// assemble through the sequential path against the merged journal.
+func shardedRun(cfg Config, opts ShardOptions, names []string,
+	enumerate func(Config, []string) ([]unit, error),
+	assemble func(Config, []string, *ShardResult) error,
+) (*ShardResult, error) {
+	cfg = cfg.withDefaults()
+	if len(names) == 0 {
+		names = TestbedNames()
+	}
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		tmp, err := os.MkdirTemp("", "memcontention-shards-*")
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shard dir: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		opts.Dir = tmp
+	}
+
+	units, err := enumerate(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	sup, err := newSupervisor(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	quar, err := sup.run(units)
+	res := &ShardResult{Quarantine: quar, Progress: sup.Progress(), Dir: opts.Dir}
+	if err != nil {
+		return res, err
+	}
+	if len(quar) > 0 {
+		return res, &QuarantineError{Records: quar, Path: filepath.Join(opts.Dir, QuarantineFile)}
+	}
+
+	// Deterministic merge: the shard journals collapse into one merged
+	// journal (sorted by key, byte-deterministic), and the sequential
+	// assembly replays against it — every unit hits the journal, so the
+	// artifacts are the sequential path's artifacts, byte for byte.
+	merged, err := mergeShardSet(opts.Dir)
+	if err != nil {
+		return res, err
+	}
+	defer merged.Close()
+	mcfg := cfg
+	mcfg.Journal = merged
+	mcfg.Context = nil // assembly reads the journal; nothing to cancel
+	if err := assemble(mcfg, names, res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// ShardedPipeline is Pipeline on the supervised sharded executor: the
+// same units, the same artifacts — proven byte-identical — but executed
+// by opts.Workers supervised workers with per-shard journals, work
+// stealing, retries, quarantine and kill-and-resume via opts.Dir.
+func ShardedPipeline(cfg Config, opts ShardOptions, names []string) (*ShardResult, error) {
+	return shardedRun(cfg, opts, names, pipelineUnits,
+		func(mcfg Config, names []string, res *ShardResult) error {
+			art, err := Pipeline(mcfg, names)
+			if err != nil {
+				return err
+			}
+			res.Artifacts = art
+			return nil
+		})
+}
+
+// ShardedEvaluate is EvaluatePlatforms (plus the replication sweep when
+// cfg.Replications > 1) on the supervised sharded executor.
+func ShardedEvaluate(cfg Config, opts ShardOptions, names []string) (*ShardResult, error) {
+	return shardedRun(cfg, opts, names, evalUnits,
+		func(mcfg Config, names []string, res *ShardResult) error {
+			results, err := EvaluatePlatforms(mcfg, names)
+			if err != nil {
+				return err
+			}
+			res.Platforms = results
+			if mcfg.Replications > 1 {
+				rep, err := Replicate(mcfg, names, results)
+				if err != nil {
+					return err
+				}
+				if res.Artifacts == nil {
+					res.Artifacts = &Artifacts{Seed: mcfg.Seed, Platforms: results}
+				}
+				res.Artifacts.Replications = rep
+			}
+			return nil
+		})
+}
+
+// mergeShardSet merges every shard journal under dir into
+// dir/merged.ckpt and opens it.
+func mergeShardSet(dir string) (*checkpoint.Journal, error) {
+	set, err := checkpoint.OpenShardSet(dir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := set.Paths()
+	if err != nil {
+		return nil, err
+	}
+	entries, err := checkpoint.MergeShardFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "merged.ckpt")
+	if err := checkpoint.WriteJournal(path, entries); err != nil {
+		return nil, err
+	}
+	return checkpoint.Open(path)
+}

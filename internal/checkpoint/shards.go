@@ -1,0 +1,162 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"memcontention/internal/atomicio"
+)
+
+// shardPrefix and shardSuffix frame the file names of per-shard journals
+// inside a ShardSet directory: shard-0000.ckpt, shard-0001.ckpt, ...
+const (
+	shardPrefix = "shard-"
+	shardSuffix = ".ckpt"
+)
+
+// ShardSet manages the per-shard journals of one sharded campaign: a
+// directory holding shard-NNNN.ckpt journal files, one per worker, each
+// with the full CRC32 + torn-tail-recovery durability of a single
+// Journal. The set is the unit of resume — a killed parallel campaign
+// reopens the same directory and the union of all shard journals tells
+// it which experiment units are already done, wherever they ran.
+type ShardSet struct {
+	dir string
+}
+
+// OpenShardSet creates (durably, fsyncing the new directory chain) or
+// reopens the shard-journal directory.
+func OpenShardSet(dir string) (*ShardSet, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty shard-set directory")
+	}
+	if err := atomicio.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: shard set %s: %w", dir, err)
+	}
+	return &ShardSet{dir: dir}, nil
+}
+
+// Dir reports the shard-set directory ("" for a nil set).
+func (s *ShardSet) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// ShardPath returns the journal path of shard i.
+func (s *ShardSet) ShardPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%04d%s", shardPrefix, i, shardSuffix))
+}
+
+// OpenShard opens (or creates) the journal of shard i, recovering any
+// torn tail exactly like Open.
+func (s *ShardSet) OpenShard(i int) (*Journal, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("checkpoint: negative shard index %d", i)
+	}
+	return Open(s.ShardPath(i))
+}
+
+// Paths lists the existing shard journal files in shard order. A resumed
+// campaign may find more shards than it has workers (the previous run was
+// wider); their entries still count as done and still merge.
+func (s *ShardSet) Paths() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: shard set %s: %w", s.dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, shardPrefix) || !strings.HasSuffix(name, shardSuffix) {
+			continue
+		}
+		paths = append(paths, filepath.Join(s.dir, name))
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// MergeShards reads every given shard-journal image tolerantly (exactly
+// like Open: a torn or corrupt tail ends that shard's valid prefix and
+// the remainder is ignored) and merges the entries by key. The same key
+// appearing in several shards is legal — work stealing and worker
+// restarts can complete a re-run of a unit whose first attempt died
+// after journaling nested sub-units elsewhere — but only when every copy
+// carries byte-identical payloads; campaigns are deterministic in
+// (seed, config), so differing payloads mean corruption or a
+// nondeterminism bug and merging must fail loudly rather than pick one.
+//
+// The merged entries are returned sorted by key, so the merged journal
+// image is byte-deterministic regardless of shard count, scheduling or
+// completion order.
+func MergeShards(images [][]byte) ([]Entry, error) {
+	merged := make(map[string]Entry)
+	var keys []string
+	for i, img := range images {
+		res := Decode(img)
+		for _, e := range res.Entries {
+			prev, ok := merged[e.Key]
+			if !ok {
+				merged[e.Key] = e
+				keys = append(keys, e.Key)
+				continue
+			}
+			if !bytes.Equal(prev.Payload, e.Payload) {
+				return nil, fmt.Errorf("checkpoint: shard %d: conflicting payloads for key %q: %w", i, e.Key, ErrShardConflict)
+			}
+		}
+	}
+	sort.Strings(keys)
+	entries := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, merged[k])
+	}
+	return entries, nil
+}
+
+// ErrShardConflict reports two shard journals holding different payloads
+// for the same unit key — impossible for a deterministic campaign, so it
+// signals journal corruption that CRCs happened to miss, or a real
+// nondeterminism bug.
+var ErrShardConflict = errors.New("checkpoint: shard journals disagree")
+
+// MergeShardFiles reads and merges the given shard journal files (see
+// MergeShards). Unreadable files are errors; unreadable *content* is
+// recovered tolerantly.
+func MergeShardFiles(paths []string) ([]Entry, error) {
+	images := make([][]byte, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: merge %s: %w", p, err)
+		}
+		images[i] = data
+	}
+	return MergeShards(images)
+}
+
+// WriteJournal durably writes entries as a fresh journal file at path
+// (atomic temp + fsync + rename + dir fsync). Combined with MergeShards
+// it turns a set of shard journals into one merged journal whose bytes
+// depend only on the entry set.
+func WriteJournal(path string, entries []Entry) error {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		line, err := EncodeEntry(e)
+		if err != nil {
+			return err
+		}
+		buf.Write(line)
+	}
+	if err := atomicio.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write merged journal: %w", err)
+	}
+	return nil
+}

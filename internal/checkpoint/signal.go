@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 )
 
@@ -17,13 +18,51 @@ import (
 // wrappers can tell "failed" from "interrupted, safe to resume".
 const ExitInterrupted = 130
 
-// SignalContext returns a context canceled on SIGINT or SIGTERM. After
-// the first signal the handlers are kept installed (cancellation already
-// happened); a second Ctrl-C during a slow flush falls back to the Go
-// runtime's default hard exit via the returned stop function being the
-// only remaining teardown. Call stop to release the signal handlers.
+// SignalContext returns a context canceled on SIGINT or SIGTERM. The
+// first signal requests a graceful drain: the context is canceled,
+// workers stop at the next unit boundary, and telemetry flushes. A
+// second SIGINT/SIGTERM means the user wants out *now* — the process
+// exits immediately with status ExitInterrupted, without waiting for the
+// drain (every unit recorded so far is already fsynced, so nothing
+// durable is lost). Call stop to release the signal handlers.
 func SignalContext() (ctx context.Context, stop context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	return signalContext(os.Exit)
+}
+
+// signalContext is SignalContext with an injectable exit, so tests can
+// observe the second-signal hard exit without dying.
+func signalContext(exit func(int)) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go watchSignals(ch, done, cancel, exit)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	return ctx, stop
+}
+
+// watchSignals implements the two-stage shutdown: first signal cancels
+// (graceful drain), second signal hard-exits with ExitInterrupted. A
+// close of done (the caller's stop) retires the watcher at either stage.
+func watchSignals(ch <-chan os.Signal, done <-chan struct{}, cancel context.CancelFunc, exit func(int)) {
+	select {
+	case <-ch:
+		cancel()
+	case <-done:
+		return
+	}
+	select {
+	case <-ch:
+		exit(ExitInterrupted)
+	case <-done:
+	}
 }
 
 // IsCanceled reports whether err is (or wraps) a context cancellation —

@@ -76,6 +76,51 @@ func StdDev(xs []float64) float64 {
 	return math.Sqrt(s / float64(len(xs)))
 }
 
+// SampleStdDev returns the sample (Bessel-corrected, n−1) standard
+// deviation of xs (0 for n < 2). Replication sweeps use it: the
+// replications are a sample of the run-to-run noise distribution, not the
+// whole population.
+func SampleStdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; beyond 30 the normal approximation 1.96 is used (the error
+// is below 2% there).
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its
+// two-sided 95% confidence interval (Student-t on n−1 degrees of
+// freedom). Fewer than two samples give a zero half-width: a single run
+// carries no variability information — exactly the blind spot the
+// replication sweep exists to close.
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	t := 1.96
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return mean, t * SampleStdDev(xs) / math.Sqrt(float64(n))
+}
+
 // Median returns the median of xs (mean of the two middle elements for even
 // lengths). It does not modify xs. Empty input returns 0.
 func Median(xs []float64) float64 {

@@ -185,3 +185,58 @@ func TestAbsRelErr(t *testing.T) {
 		t.Error("AbsRelErr with zero actual must be 0")
 	}
 }
+
+func TestSampleStdDev(t *testing.T) {
+	if got := SampleStdDev(nil); got != 0 {
+		t.Fatalf("SampleStdDev(nil) = %v", got)
+	}
+	if got := SampleStdDev([]float64{5}); got != 0 {
+		t.Fatalf("SampleStdDev(single) = %v", got)
+	}
+	// {2, 4, 4, 4, 5, 5, 7, 9}: population stddev 2, sample variance
+	// 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := SampleStdDev(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("SampleStdDev = %v, want %v", got, want)
+	}
+	// Bessel correction: sample stddev strictly exceeds population
+	// stddev for any non-constant sample.
+	if SampleStdDev(xs) <= StdDev(xs) {
+		t.Fatal("sample stddev not larger than population stddev")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{3})
+	if mean != 3 || half != 0 {
+		t.Fatalf("single sample CI = (%v, %v)", mean, half)
+	}
+	// Two samples: df=1, t=12.706; half = t * s / sqrt(2).
+	mean, half = MeanCI95([]float64{1, 3})
+	s := SampleStdDev([]float64{1, 3})
+	want := 12.706 * s / math.Sqrt(2)
+	if mean != 2 || math.Abs(half-want) > 1e-9 {
+		t.Fatalf("CI95(1,3) = (%v, %v), want (2, %v)", mean, half, want)
+	}
+	// Constant samples have zero dispersion regardless of n.
+	if _, half = MeanCI95([]float64{4, 4, 4, 4}); half != 0 {
+		t.Fatalf("constant sample half-width = %v", half)
+	}
+	// Large n falls back to the normal critical value.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	_, half = MeanCI95(big)
+	want = 1.96 * SampleStdDev(big) / 10
+	if math.Abs(half-want) > 1e-12 {
+		t.Fatalf("large-n half-width = %v, want %v", half, want)
+	}
+	// More replications shrink the interval (same per-sample spread).
+	_, h4 := MeanCI95([]float64{1, 3, 1, 3})
+	_, h8 := MeanCI95([]float64{1, 3, 1, 3, 1, 3, 1, 3})
+	if h8 >= h4 {
+		t.Fatalf("CI did not shrink with replications: %v >= %v", h8, h4)
+	}
+}
