@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak soak-parallel prof-smoke serve-smoke loadtest fmt
+.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak soak-parallel soak-remote prof-smoke serve-smoke loadtest fmt
 
 check: lint build race repro benchdiff ## pre-merge gate: lint + build + race tests + reproduction (+ advisory benchdiff)
 
@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzMergeShards$$' -fuzztime $(FUZZTIME) ./internal/checkpoint/
 	$(GO) test -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -fuzz '^FuzzLeaseDecode$$' -fuzztime $(FUZZTIME) ./internal/lease/
 
 # prof-smoke runs memprof on the seeded overlap scenario and validates
 # the Perfetto export byte-for-byte against the golden file (regenerate
@@ -64,6 +65,15 @@ soak:
 # against the sequential baseline (see docs/campaigns.md).
 soak-parallel:
 	$(GO) run ./scripts/soak -parallel -rounds $(SOAK_ROUNDS)
+
+# soak-remote soaks the lease-coordinated multi-process campaign with
+# real memworker processes and real signals: two workers SIGKILLed
+# mid-unit, one SIGSTOPped past its lease TTL and resurrected as a
+# fenced zombie that keeps writing, a fresh worker taking every orphaned
+# shard over — merged artifacts byte-checked against the sequential
+# baseline (see docs/campaigns.md).
+soak-remote:
+	$(GO) run ./scripts/soak -remote
 
 # bench refreshes the benchmark log used to track instrumentation
 # overhead (compare against BENCH_baseline.json).

@@ -15,6 +15,8 @@
 //	paperfigs -table 2 -replications 10   # Table II as mean ± 95% CI over 10 seeds
 //	paperfigs -workers 8 -shards run.shards -out results/
 //	                           # supervised sharded executor (docs/campaigns.md)
+//	paperfigs -workers remote -shards run/ -out results/
+//	                           # finalize a memworker fleet's remote campaign
 //
 // With -checkpoint the evaluations are crash-safe (see docs/resilience.md):
 // every completed placement curve and platform evaluation is journaled,
@@ -54,7 +56,9 @@ type options struct {
 	table, fig   int
 	out          string
 	seed         uint64
+	seedSet      bool // -seed given explicitly (pins a remote campaign's seed)
 	workers      int
+	remote       bool
 	replications int
 	shards       string
 	ascii        bool
@@ -66,7 +70,8 @@ func main() {
 	flag.IntVar(&o.fig, "fig", 0, "emit only this figure (2..8)")
 	flag.StringVar(&o.out, "out", "", "write artifacts into this directory instead of stdout")
 	flag.Uint64Var(&o.seed, "seed", 1, "measurement noise seed")
-	flag.IntVar(&o.workers, "workers", 0, "parallel evaluations (0: GOMAXPROCS)")
+	var workersFlag string
+	flag.StringVar(&workersFlag, "workers", "0", `parallel evaluations (0: GOMAXPROCS), or "remote": finalize a lease-coordinated multi-process campaign in -shards (docs/campaigns.md)`)
 	flag.IntVar(&o.replications, "replications", 1, "Monte-Carlo replication sweep: evaluate this many consecutive seeds and report Table II errors as mean ± 95% CI")
 	flag.StringVar(&o.shards, "shards", "", "run the evaluations on the supervised sharded executor, journaling per-worker shards into this directory (crash-safe, resumable; see docs/campaigns.md)")
 	flag.BoolVar(&o.ascii, "plot", false, "render figures as ASCII charts instead of CSV")
@@ -75,6 +80,16 @@ func main() {
 	var ckpt checkpoint.CLI
 	ckpt.Register(flag.CommandLine)
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			o.seedSet = true
+		}
+	})
+	var perr error
+	if o.workers, o.remote, perr = campaign.ParseWorkers(workersFlag); perr != nil {
+		fmt.Fprintln(os.Stderr, "paperfigs:", perr)
+		os.Exit(2)
+	}
 
 	ctx, stop := checkpoint.SignalContext()
 	err := run(ctx, os.Stdout, o, &ckpt, &cli)
@@ -170,13 +185,20 @@ func dispatch(ctx context.Context, w io.Writer, o options, j *checkpoint.Journal
 		}
 		return writeReplications(w, rep)
 	case o.fig == 2:
-		st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
+		r, err := figureResult(byName, 2, "henri-subnuma")
+		if err != nil {
+			return err
+		}
+		st, err := eval.StackedFor(r, model.Placement{Comp: 0, Comm: 0})
 		if err != nil {
 			return err
 		}
 		return st.WriteCSV(w)
 	case o.fig != 0:
-		r := byName[figPlatform[o.fig]]
+		r, err := figureResult(byName, o.fig, figPlatform[o.fig])
+		if err != nil {
+			return err
+		}
 		figure := eval.FigureFor(fmt.Sprintf("figure%d", o.fig), r)
 		if o.ascii {
 			return writeASCII(w, figure)
@@ -203,6 +225,26 @@ func evaluate(ctx context.Context, o options, j *checkpoint.Journal, reg *obs.Re
 		Context:      ctx,
 		Journal:      j,
 		Registry:     reg,
+	}
+	if o.remote {
+		// Finalize a lease-coordinated multi-process campaign: wait for
+		// the memworker fleet to journal every unit, merge all epochs,
+		// and replay the sequential assembly (docs/campaigns.md). The
+		// platform list, seed and replication width come from the
+		// campaign's manifest; only explicitly passed flags are pinned
+		// against it.
+		if o.shards == "" {
+			return nil, nil, fmt.Errorf("-workers remote requires -shards <campaign dir>")
+		}
+		rcfg := cfg
+		if !o.seedSet {
+			rcfg.Seed = 0 // inherit the manifest's seed
+		}
+		res, err := campaign.RemoteMerge(rcfg, campaign.RemoteOptions{Dir: o.shards}, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res.Artifacts.Platforms, res.Artifacts.Replications, nil
 	}
 	if o.shards != "" {
 		res, err := campaign.ShardedEvaluate(cfg, campaign.ShardOptions{Workers: o.workers, Dir: o.shards}, names)
@@ -273,6 +315,16 @@ func writeASCII(w io.Writer, figure *eval.Figure) error {
 	return nil
 }
 
+// figureResult looks up the evaluation a figure needs. Sequential and
+// sharded runs always evaluate the figure's platform, but a remote
+// campaign's platform set comes from its manifest and may not cover it.
+func figureResult(byName map[string]*eval.PlatformResult, fig int, platform string) (*eval.PlatformResult, error) {
+	if r := byName[platform]; r != nil {
+		return r, nil
+	}
+	return nil, fmt.Errorf("figure %d needs platform %s, which this campaign does not cover", fig, platform)
+}
+
 func printAll(w io.Writer, results []*eval.PlatformResult, byName map[string]*eval.PlatformResult) error {
 	if err := eval.Table1(topology.Testbed()).WriteText(w); err != nil {
 		return err
@@ -282,16 +334,21 @@ func printAll(w io.Writer, results []*eval.PlatformResult, byName map[string]*ev
 		return err
 	}
 	fmt.Fprintln(w)
-	st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "FIGURE 2 — stacked bandwidths (henri-subnuma, comp@0/comm@0):")
-	if err := st.WriteCSV(w); err != nil {
-		return err
+	if r := byName["henri-subnuma"]; r != nil {
+		st, err := eval.StackedFor(r, model.Placement{Comp: 0, Comm: 0})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "FIGURE 2 — stacked bandwidths (henri-subnuma, comp@0/comm@0):")
+		if err := st.WriteCSV(w); err != nil {
+			return err
+		}
 	}
 	for figNo := 3; figNo <= 8; figNo++ {
 		r := byName[figPlatform[figNo]]
+		if r == nil {
+			continue // the campaign does not cover this figure's platform
+		}
 		fmt.Fprintf(w, "\nFIGURE %d — %s:\n", figNo, r.Platform)
 		if err := eval.FigureFor(fmt.Sprintf("figure%d", figNo), r).WriteCSV(w); err != nil {
 			return err
@@ -341,15 +398,20 @@ func writeAll(w io.Writer, dir string, results []*eval.PlatformResult, byName ma
 			return err
 		}
 	}
-	st, err := eval.StackedFor(byName["henri-subnuma"], model.Placement{Comp: 0, Comm: 0})
-	if err != nil {
-		return err
-	}
-	if err := write("figure2.csv", st.WriteCSV); err != nil {
-		return err
+	if r := byName["henri-subnuma"]; r != nil {
+		st, err := eval.StackedFor(r, model.Placement{Comp: 0, Comm: 0})
+		if err != nil {
+			return err
+		}
+		if err := write("figure2.csv", st.WriteCSV); err != nil {
+			return err
+		}
 	}
 	for figNo := 3; figNo <= 8; figNo++ {
 		r := byName[figPlatform[figNo]]
+		if r == nil {
+			continue // the campaign does not cover this figure's platform
+		}
 		fig := eval.FigureFor(fmt.Sprintf("figure%d", figNo), r)
 		if err := write(fmt.Sprintf("figure%d.csv", figNo), fig.WriteCSV); err != nil {
 			return err

@@ -147,6 +147,14 @@ func DefaultConfig() *Config {
 			"memcontention/scripts/loadgen",
 			// slogx mints random run ids; identity, not simulation.
 			"memcontention/internal/obs/slogx",
+			// The lease coordination plane: owner identity (hostname,
+			// pid, random token) and wall-clock heartbeats are what
+			// fencing is MADE OF — they name which process is alive
+			// right now and never feed a reproducible artifact (shard
+			// journals hold unit results only, keyed by config). The
+			// entry is exact: campaign/checkpoint code consuming leases
+			// stays under the full determinism check.
+			"memcontention/internal/lease",
 		},
 		SinkTypes: []string{
 			"memcontention/internal/trace.Recorder",

@@ -76,6 +76,45 @@ func TestDeterminismExemptFixture(t *testing.T) {
 	}
 }
 
+// TestDeterminismLeaseExemptFixture proves the lease-plane
+// dispensation the same two ways — the fixture is full of findings
+// without an exemption, silent when listed — and then pins the scope
+// of the real DefaultConfig entry: it covers the lease package itself
+// and nothing else; the campaign and checkpoint code consuming leases,
+// and the memworker binary, all stay under the full determinism check.
+func TestDeterminismLeaseExemptFixture(t *testing.T) {
+	dir := fixtureDir(t, "leasepkg")
+	diags := RunFixture(t, dir, &Config{}, DeterminismAnalyzer)
+	if len(diags) == 0 {
+		t.Fatal("leasepkg fixture produced no findings without an exemption")
+	}
+	checkGolden(t, "leasepkg", dir, diags)
+
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exempted := Run([]*Package{pkg}, []*Analyzer{DeterminismAnalyzer},
+		&Config{DeterminismExemptPkgs: []string{"leasepkg"}})
+	if len(exempted) != 0 {
+		t.Errorf("exempt package still produced %d findings:\n%s",
+			len(exempted), RenderDiagnostics(exempted, dir))
+	}
+
+	cfg := DefaultConfig()
+	for pkgPath, want := range map[string]bool{
+		"memcontention/internal/lease":      true,
+		"memcontention/internal/lease/sub":  false,
+		"memcontention/internal/campaign":   false,
+		"memcontention/internal/checkpoint": false,
+		"memcontention/cmd/memworker":       false,
+	} {
+		if got := determinismExempt(cfg.DeterminismExemptPkgs, pkgPath); got != want {
+			t.Errorf("determinismExempt(DefaultConfig, %q) = %v, want %v", pkgPath, got, want)
+		}
+	}
+}
+
 // TestDeterminismExemptionDoesNotLeakToSimPackages runs the simulation
 // fixture under the full DefaultConfig exemption list: every wall-clock
 // finding must still fire — the serving dispensation is surgical, not a

@@ -1,0 +1,31 @@
+// Package leasepkg is a memlint fixture standing in for the lease
+// coordination plane (internal/lease): owner identity and liveness
+// heartbeats minted from real process state. Run WITHOUT an exemption
+// it must produce every finding below; listed on
+// Config.DeterminismExemptPkgs the same package must be completely
+// silent. The dispensation is surgical — see
+// TestDeterminismLeaseExemptFixture for proof that the real entry
+// covers the lease package only, not its consumers.
+package leasepkg
+
+import (
+	"os"
+	"time"
+)
+
+// SelfOwner mints a worker identity from the host name — flagged when
+// the package is not exempt.
+func SelfOwner() (string, error) {
+	return os.Hostname() // want "os.Hostname is nondeterministic"
+}
+
+// Pid tags the identity with the process id — flagged when not exempt.
+func Pid() int {
+	return os.Getpid() // want "os.Getpid is nondeterministic"
+}
+
+// HeartbeatAt stamps a lease renewal — wall clock, flagged when not
+// exempt.
+func HeartbeatAt() time.Time {
+	return time.Now() // want "time.Now is nondeterministic"
+}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"memcontention/internal/atomicio"
@@ -61,6 +62,89 @@ func (s *ShardSet) OpenShard(i int) (*Journal, error) {
 		return nil, fmt.Errorf("checkpoint: negative shard index %d", i)
 	}
 	return Open(s.ShardPath(i))
+}
+
+// EpochShardPath returns the journal path of shard i under fencing
+// epoch e: shard-0003.e7.ckpt. Remote multi-process campaigns journal
+// into epoch-suffixed files — each (shard, epoch) pair has exactly one
+// owner ever (internal/lease claims epochs O_EXCL), so no two processes
+// can interleave appends into the same journal, and a deposed zombie's
+// late appends land in its own dead-epoch file. Paths() lists epoch
+// files alongside plain shard journals and MergeShards unions them all:
+// campaigns are deterministic in (seed, config), so duplicate keys
+// across epochs carry byte-identical payloads and merge cleanly.
+func (s *ShardSet) EpochShardPath(i int, e uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s%04d.e%d%s", shardPrefix, i, e, shardSuffix))
+}
+
+// OpenEpochShard opens (or creates) the epoch-e journal of shard i.
+func (s *ShardSet) OpenEpochShard(i int, e uint64) (*Journal, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("checkpoint: negative shard index %d", i)
+	}
+	if e == 0 {
+		return nil, fmt.Errorf("checkpoint: epoch 0 for shard %d (epochs start at 1)", e)
+	}
+	return Open(s.EpochShardPath(i, e))
+}
+
+// ParseShardFile decomposes a shard-journal file name into its shard
+// index and epoch (0 for a plain, epoch-less journal as written by the
+// in-process sharded executor). Non-journal names report ok=false.
+func ParseShardFile(name string) (shard int, epoch uint64, ok bool) {
+	if !strings.HasPrefix(name, shardPrefix) || !strings.HasSuffix(name, shardSuffix) {
+		return 0, 0, false
+	}
+	core := strings.TrimSuffix(strings.TrimPrefix(name, shardPrefix), shardSuffix)
+	idx, rest, hasEpoch := strings.Cut(core, ".e")
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 0 {
+		return 0, 0, false
+	}
+	if !hasEpoch {
+		return n, 0, true
+	}
+	e, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil || e == 0 {
+		return 0, 0, false
+	}
+	return n, e, true
+}
+
+// ShardFiles lists the existing journal files of shard i (the plain
+// journal plus every epoch file), sorted by name.
+func (s *ShardSet) ShardFiles(i int) ([]string, error) {
+	paths, err := s.Paths()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, p := range paths {
+		if n, _, ok := ParseShardFile(filepath.Base(p)); ok && n == i {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// MaxEpoch reports the highest epoch among shard i's existing journal
+// files (0 when only the plain journal, or nothing, exists). Remote
+// workers feed it to lease.Manager.Acquire as the epoch floor: even if
+// the lease file was corrupted or deleted, a surviving zombie journal
+// forces the takeover epoch past the zombie's, so the new owner can
+// never share a journal file with it.
+func (s *ShardSet) MaxEpoch(i int) (uint64, error) {
+	paths, err := s.Paths()
+	if err != nil {
+		return 0, err
+	}
+	var max uint64
+	for _, p := range paths {
+		if n, e, ok := ParseShardFile(filepath.Base(p)); ok && n == i && e > max {
+			max = e
+		}
+	}
+	return max, nil
 }
 
 // Paths lists the existing shard journal files in shard order. A resumed

@@ -20,7 +20,11 @@
 // quarantine.jsonl — asserting after every phase that the artifacts are
 // byte-identical to the sequential baseline.
 //
-// Usage: go run ./scripts/soak [-rounds 6] [-seed 1] [-parallel] [-v]
+// With -remote the harness instead soaks the lease-coordinated
+// multi-process campaign with real memworker processes and real signals
+// (SIGKILL, SIGSTOP/SIGCONT) — see remote.go.
+//
+// Usage: go run ./scripts/soak [-rounds 6] [-seed 1] [-parallel|-remote] [-v]
 package main
 
 import (
@@ -55,13 +59,17 @@ func main() {
 	rounds := flag.Int("rounds", 6, "minimum interruptions per scenario")
 	seed := flag.Uint64("seed", 1, "seed for the kill points and the campaign noise")
 	parallel := flag.Bool("parallel", false, "soak the supervised sharded executor instead of the sequential pipeline")
+	remote := flag.Bool("remote", false, "soak the lease-coordinated multi-process campaign (real memworker processes and signals)")
 	flag.BoolVar(&verbose, "v", false, "log every kill and resume")
 	flag.Parse()
 
 	var err error
-	if *parallel {
+	switch {
+	case *remote:
+		err = soakRemote(*seed)
+	case *parallel:
 		err = soakParallel(*rounds, *seed)
-	} else {
+	default:
 		err = soak(*rounds, *seed)
 	}
 	if err != nil {

@@ -1,0 +1,337 @@
+// The -remote phase soaks the lease-coordinated multi-process campaign
+// (docs/campaigns.md, "Remote campaigns") with real memworker processes
+// and real signals — the one failure surface the in-process tests
+// cannot reach. A first worker claims a shard and is SIGSTOPped mid-unit
+// so its lease expires while the process lives on; two more workers are
+// SIGKILLed mid-unit. A fresh worker started after the TTL must take
+// every shard over with no manual cleanup and drain the campaign. The
+// frozen worker is then SIGCONTed: a genuine zombie that still believes
+// it owns its shard and keeps writing — its late appends must land in
+// its own dead-epoch journal and merge away against the successor's
+// re-execution. Finally `memworker -merge` assembles the artifacts,
+// which must be byte-identical to an uninterrupted sequential run.
+//
+// The choreography is deliberately sequenced so every assertion is
+// deterministic: the zombie starts alone (no claim races — it takes the
+// first non-empty shard), and the kill victims die strictly before
+// their first unit can journal (killDelay < unitDelay), so the
+// takeover worker always finds the entire campaign pending.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"memcontention/internal/campaign"
+	"memcontention/internal/checkpoint"
+)
+
+// Lease timings for the remote phase: short enough that a full
+// orphan-takeover cycle fits in a few seconds of wall clock, with the
+// heartbeat comfortably under the TTL/3 validation bound.
+const (
+	remoteTTL       = 2 * time.Second
+	remoteHeartbeat = 250 * time.Millisecond
+
+	// staleWait is how long the harness waits after the last signal
+	// before starting the takeover worker: the TTL plus the default
+	// grace (TTL/2), plus one heartbeat that may have landed just
+	// before the signal, plus margin for slow CI runners.
+	staleWait = remoteTTL + remoteTTL/2 + remoteHeartbeat + 750*time.Millisecond
+
+	// unitDelay throttles the doomed workers so every signal lands
+	// while their first unit is still in flight — nothing journaled,
+	// every shard an orphan to take over.
+	unitDelay = 1500 * time.Millisecond
+
+	// killDelay is how long the SIGKILL victims get to run. Strictly
+	// less than unitDelay: a worker's first journal append happens no
+	// earlier than claim time + unitDelay >= spawn + unitDelay, so
+	// killing at spawn + killDelay guarantees an empty journal — no
+	// matter how the two victims raced each other for shards.
+	killDelay = 1200 * time.Millisecond
+
+	// remoteShards is sized so that with the soak platform set every
+	// shard is non-empty (unit→shard assignment is a deterministic
+	// hash of the unit keys), so the takeover worker must claim and
+	// drain all of them.
+	remoteShards = 3
+)
+
+// epilogue matches memworker's exit line:
+//
+//	memworker host/pid/tok: 5 units across 3 claims, 0 fenced, drained=true
+var epilogue = regexp.MustCompile(`(\d+) units across (\d+) claims, (\d+) fenced, drained=(true|false)`)
+
+// workerProc is one spawned memworker process with captured output.
+type workerProc struct {
+	cmd *exec.Cmd
+	out bytes.Buffer
+}
+
+func startWorker(bin string, args ...string) (*workerProc, error) {
+	w := &workerProc{cmd: exec.Command(bin, args...)}
+	w.cmd.Stdout = &w.out
+	w.cmd.Stderr = &w.out
+	if err := w.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start memworker %v: %w", args, err)
+	}
+	return w, nil
+}
+
+// report parses the worker's epilogue line.
+func (w *workerProc) report() (units, claims, fenced int, drained bool, err error) {
+	m := epilogue.FindStringSubmatch(w.out.String())
+	if m == nil {
+		return 0, 0, 0, false, fmt.Errorf("no worker epilogue in output:\n%s", w.out.String())
+	}
+	fmt.Sscan(m[1], &units)
+	fmt.Sscan(m[2], &claims)
+	fmt.Sscan(m[3], &fenced)
+	return units, claims, fenced, m[4] == "true", nil
+}
+
+func soakRemote(seed uint64) error {
+	dir, err := os.MkdirTemp("", "memcontention-soak-remote-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Uninterrupted sequential baseline, in-process.
+	baseline, err := campaign.Pipeline(campaign.Config{Seed: seed}, platforms)
+	if err != nil {
+		return fmt.Errorf("baseline pipeline: %w", err)
+	}
+	baseDir := filepath.Join(dir, "baseline")
+	if err := baseline.Write(baseDir); err != nil {
+		return err
+	}
+
+	// Build the real memworker binary once; every step below goes
+	// through the production CLI, not in-process shortcuts.
+	bin := filepath.Join(dir, "memworker")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/memworker").CombinedOutput(); err != nil {
+		return fmt.Errorf("build memworker: %w\n%s", err, out)
+	}
+
+	runDir := filepath.Join(dir, "run")
+	leaseDir := filepath.Join(runDir, campaign.LeaseDir)
+	doomed := []string{
+		"-dir", runDir,
+		"-seed", fmt.Sprint(seed),
+		"-platforms", strings.Join(platforms, ","),
+		"-shard-count", fmt.Sprint(remoteShards),
+		"-lease-ttl", remoteTTL.String(),
+		"-heartbeat", remoteHeartbeat.String(),
+		"-unit-delay", unitDelay.String(),
+	}
+
+	var fleet []*workerProc
+	defer func() {
+		// Leave no processes behind on an assertion failure (Kill works
+		// on stopped processes too; already-reaped ones just error).
+		for _, w := range fleet {
+			w.cmd.Process.Kill()
+		}
+	}()
+
+	// The zombie starts alone: with no rivals it claims the first
+	// non-empty shard, writes campaign.json, and sits in its first
+	// unit's throttle. Freezing it once its lease file appears is
+	// guaranteed to catch it mid-unit with an empty journal.
+	zombie, err := startWorker(bin, doomed...)
+	if err != nil {
+		return err
+	}
+	fleet = append(fleet, zombie)
+	if err := waitLeases(leaseDir, 1); err != nil {
+		return fmt.Errorf("%w\nzombie output:\n%s", err, zombie.out.String())
+	}
+	if err := zombie.cmd.Process.Signal(syscall.SIGSTOP); err != nil {
+		return err
+	}
+	logf("  [remote] zombie claimed a shard and was SIGSTOPped mid-unit")
+
+	// Two more workers join (the zombie's lease is fresh, so they pick
+	// other shards — or race each other for them, it doesn't matter)
+	// and are SIGKILLed before any of their units can journal.
+	var victims []*workerProc
+	for i := 0; i < 2; i++ {
+		w, err := startWorker(bin, doomed...)
+		if err != nil {
+			return err
+		}
+		fleet = append(fleet, w)
+		victims = append(victims, w)
+	}
+	time.Sleep(killDelay)
+	for i, w := range victims {
+		if err := w.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+			return err
+		}
+		werr := w.cmd.Wait()
+		if werr == nil || !strings.Contains(werr.Error(), "signal: killed") {
+			return fmt.Errorf("victim %d should have died of SIGKILL, got: %w\noutput:\n%s", i, werr, w.out.String())
+		}
+	}
+	logf("  [remote] SIGKILLed 2 workers mid-unit")
+	time.Sleep(staleWait)
+
+	// The takeover worker joins bare — everything comes from
+	// campaign.json — and must claim all shards past the TTL and drain
+	// the whole campaign: nothing was journaled before the signals, so
+	// every unit is still pending.
+	succ, err := startWorker(bin, "-dir", runDir)
+	if err != nil {
+		return err
+	}
+	fleet = append(fleet, succ)
+	if err := succ.cmd.Wait(); err != nil {
+		return fmt.Errorf("takeover worker failed: %w\noutput:\n%s", err, succ.out.String())
+	}
+	units, claims, _, drained, err := succ.report()
+	if err != nil {
+		return fmt.Errorf("takeover worker: %w", err)
+	}
+	if !drained || claims != remoteShards || units == 0 {
+		return fmt.Errorf("takeover worker: %d units across %d claims, drained=%v; want all %d shards taken over and drained\noutput:\n%s",
+			units, claims, drained, remoteShards, succ.out.String())
+	}
+	logf("  [remote] takeover worker drained %d units across %d orphaned shards", units, claims)
+
+	// Resurrect the zombie. It still holds an in-memory lease for a
+	// shard that was reclaimed and drained at a higher epoch while it
+	// slept; it finishes its stale pending list into its own epoch
+	// journal — now a dead epoch — and must exit cleanly without
+	// corrupting anything.
+	if err := zombie.cmd.Process.Signal(syscall.SIGCONT); err != nil {
+		return err
+	}
+	if err := zombie.cmd.Wait(); err != nil {
+		return fmt.Errorf("resurrected zombie exited dirty: %w\noutput:\n%s", err, zombie.out.String())
+	}
+	zunits, _, _, zdrained, err := zombie.report()
+	if err != nil {
+		return fmt.Errorf("zombie: %w", err)
+	}
+	if zunits == 0 || !zdrained {
+		return fmt.Errorf("zombie ran %d units, drained=%v; want its stale pending list written into the dead epoch\noutput:\n%s",
+			zunits, zdrained, zombie.out.String())
+	}
+	logf("  [remote] zombie resumed, wrote %d units into its dead epoch, exited clean", zunits)
+
+	if err := assertDeadEpochWrite(runDir); err != nil {
+		return err
+	}
+
+	// Finalize through the production path and byte-check.
+	mergedDir := filepath.Join(dir, "merged")
+	m, err := startWorker(bin, "-dir", runDir, "-merge", "-out", mergedDir)
+	if err != nil {
+		return err
+	}
+	fleet = append(fleet, m)
+	if err := m.cmd.Wait(); err != nil {
+		return fmt.Errorf("memworker -merge failed: %w\noutput:\n%s", err, m.out.String())
+	}
+	if err := compareDirs(baseDir, mergedDir); err != nil {
+		return err
+	}
+
+	// Nothing to clean up by hand: every lease was either released or
+	// superseded and then released by its final owner.
+	if left, _ := filepath.Glob(filepath.Join(leaseDir, "*.lease")); len(left) != 0 {
+		return fmt.Errorf("lease files left after the campaign drained: %v", left)
+	}
+	fmt.Printf("soak: remote ok — 2 workers SIGKILLed + 1 zombie fenced (%d dead-epoch writes), takeover drained %d units across %d shards, merged artifacts byte-identical\n",
+		zunits, units, remoteShards)
+	return nil
+}
+
+// waitLeases polls until n lease files exist — i.e. n shards are
+// claimed and their owners are mid-unit (units are throttled by
+// unitDelay, so claims strictly precede the first journal append).
+func waitLeases(leaseDir string, n int) error {
+	const tick = 20 * time.Millisecond
+	for i := 0; i < int(10*time.Second/tick); i++ {
+		matches, err := filepath.Glob(filepath.Join(leaseDir, "*.lease"))
+		if err != nil {
+			return err
+		}
+		if len(matches) >= n {
+			return nil
+		}
+		time.Sleep(tick)
+	}
+	return fmt.Errorf("no worker claimed a shard within 10s")
+}
+
+// assertDeadEpochWrite proves the takeover and the zombie write from
+// the journals alone: the zombie's shard must have been reclaimed at a
+// fencing epoch >= 2, with at least one unit key appearing in two
+// different epoch journals of that shard — the zombie's late append
+// plus the successor's re-execution — which the merge path must
+// reconcile to one opinion (byte-equal payloads, checked by -merge).
+func assertDeadEpochWrite(runDir string) error {
+	entries, err := os.ReadDir(runDir)
+	if err != nil {
+		return err
+	}
+	type journal struct {
+		epoch uint64
+		keys  map[string]bool
+	}
+	byShard := map[int][]journal{}
+	for _, e := range entries {
+		shard, epoch, ok := checkpoint.ParseShardFile(e.Name())
+		if !ok {
+			continue
+		}
+		ents, err := checkpoint.MergeShardFiles([]string{filepath.Join(runDir, e.Name())})
+		if err != nil {
+			return fmt.Errorf("read %s: %w", e.Name(), err)
+		}
+		keys := make(map[string]bool, len(ents))
+		for _, ent := range ents {
+			keys[ent.Key] = true
+		}
+		byShard[shard] = append(byShard[shard], journal{epoch, keys})
+	}
+	if len(byShard) != remoteShards {
+		return fmt.Errorf("journals for %d shards, want %d", len(byShard), remoteShards)
+	}
+	reclaimed, overlap := false, false
+	for _, js := range byShard {
+		var maxEpoch uint64
+		seen := map[string]bool{}
+		for _, j := range js {
+			if j.epoch > maxEpoch {
+				maxEpoch = j.epoch
+			}
+			for k := range j.keys {
+				if seen[k] {
+					overlap = true
+				}
+				seen[k] = true
+			}
+		}
+		if maxEpoch >= 2 {
+			reclaimed = true
+		}
+	}
+	if !reclaimed {
+		return fmt.Errorf("no shard was ever reclaimed at a bumped fencing epoch")
+	}
+	if !overlap {
+		return fmt.Errorf("no unit key landed in two epochs of one shard — the zombie never wrote after being deposed")
+	}
+	return nil
+}
