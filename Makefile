@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak soak-parallel soak-remote prof-smoke serve-smoke loadtest fmt
+.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak soak-parallel soak-remote prof-smoke serve-smoke top-smoke loadtest fmt
 
 check: lint build race repro benchdiff ## pre-merge gate: lint + build + race tests + reproduction (+ advisory benchdiff)
 
@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test -fuzz '^FuzzReadJSONL$$' -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME) ./internal/serve/
 	$(GO) test -fuzz '^FuzzLeaseDecode$$' -fuzztime $(FUZZTIME) ./internal/lease/
+	$(GO) test -fuzz '^FuzzDecodeEvents$$' -fuzztime $(FUZZTIME) ./internal/campaign/
 
 # prof-smoke runs memprof on the seeded overlap scenario and validates
 # the Perfetto export byte-for-byte against the golden file (regenerate
@@ -96,6 +97,13 @@ benchdiff:
 # scrape end to end.
 serve-smoke:
 	$(GO) test -run 'TestMemserve' -count=1 ./cmd/memserve/
+
+# top-smoke drains a real campaign, renders memtop's text, JSON and
+# timeline views byte-for-byte against the golden files (regenerate
+# after intended changes with `go test ./cmd/memtop -run Golden -update`)
+# and scrapes the -serve plane's memcontention_fleet_* gauges.
+top-smoke:
+	$(GO) test -run 'TestMemtop' -count=1 ./cmd/memtop/
 
 # loadtest proves the serving budgets on cached predictions: achieved
 # QPS >= 5000 and server-reported p99 <= 5ms, both read back from the

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memcontention/internal/campaign"
+	"memcontention/internal/lease"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// fixedClock is a frozen manual clock: every age in the report reads 0
+// and every timestamp is the same instant, which is what makes the
+// golden files byte-stable.
+type fixedClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFixedClock() *fixedClock {
+	return &fixedClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fixedClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// goldenCampaign drains one remote campaign under a frozen clock and a
+// pinned owner identity, so every byte memtop renders is reproducible.
+func goldenCampaign(t *testing.T) (string, *fixedClock) {
+	t.Helper()
+	clk := newFixedClock()
+	dir := filepath.Join(t.TempDir(), "campaign")
+	opts := campaign.RemoteOptions{
+		Dir:    dir,
+		Shards: 4,
+		Lease: lease.Config{
+			TTL:       time.Second,
+			Heartbeat: 100 * time.Millisecond,
+			Grace:     -1,
+			Clock:     clk.Now,
+			Owner:     lease.Owner{Host: "goldenhost", PID: 7, Token: "aaaa0000"},
+		},
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		},
+	}
+	rep, err := campaign.RemoteWorker(campaign.Config{Seed: 1}, opts, []string{"henri", "henri-subnuma"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drained || rep.ObsErrors != 0 {
+		t.Fatalf("golden campaign did not drain cleanly: %+v", rep)
+	}
+	return dir, clk
+}
+
+// render drives run() one-shot and returns the output with the
+// temp-directory path normalised, so goldens are machine-independent.
+func renderGolden(t *testing.T, o options, dir string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, o); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return strings.ReplaceAll(out.String(), dir, "CAMPAIGN_DIR")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from golden %s (run with -update after intended changes):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestMemtopGolden pins all three render modes byte for byte against
+// testdata/. Refresh with `go test ./cmd/memtop -run Golden -update`.
+func TestMemtopGolden(t *testing.T) {
+	dir, clk := goldenCampaign(t)
+	base := options{dir: dir, ttl: time.Second, grace: -1, clock: clk.Now}
+
+	text := base
+	checkGolden(t, "drained.txt", renderGolden(t, text, dir))
+
+	jsonOpts := base
+	jsonOpts.jsonOut = true
+	checkGolden(t, "drained.json", renderGolden(t, jsonOpts, dir))
+
+	events := base
+	events.events = true
+	checkGolden(t, "drained.events", renderGolden(t, events, dir))
+}
+
+func TestMemtopParseFlags(t *testing.T) {
+	newFS := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("memtop", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		return fs
+	}
+	if _, err := parseFlags(newFS(), nil); err == nil {
+		t.Error("missing -dir accepted")
+	}
+	if _, err := parseFlags(newFS(), []string{"-dir", "run", "stray"}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if _, err := parseFlags(newFS(), []string{"-dir", "run", "-json", "-events"}); err == nil {
+		t.Error("-json with -events accepted")
+	}
+	o, err := parseFlags(newFS(), []string{"-dir", "run", "-watch", "2s", "-lease-ttl", "3s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.dir != "run" || o.watch != 2*time.Second || o.ttl != 3*time.Second {
+		t.Fatalf("parsed options: %+v", o)
+	}
+}
+
+func TestMemtopMissingCampaignFails(t *testing.T) {
+	o := options{dir: filepath.Join(t.TempDir(), "nope")}
+	if err := run(context.Background(), io.Discard, o); err == nil {
+		t.Fatal("memtop ran against a directory with no campaign")
+	}
+}
+
+// syncBuffer lets the serve test read run()'s output while it is still
+// being written from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestMemtopServe mounts the live plane on an ephemeral port and
+// scrapes it: the fleet gauges must be present and the health endpoints
+// answering.
+func TestMemtopServe(t *testing.T) {
+	dir, clk := goldenCampaign(t)
+	o := options{dir: dir, ttl: time.Second, grace: -1, clock: clk.Now, serve: "127.0.0.1:0"}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, &out, o) }()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its address; output: %q", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "serving fleet metrics on ") {
+			line := s[strings.Index(s, "on ")+3:]
+			addr = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"memcontention_fleet_units ",
+		"memcontention_fleet_units_done ",
+		`memcontention_fleet_workers{state="drained"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	ready, err := http.Get(fmt.Sprintf("http://%s/readyz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", ready.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

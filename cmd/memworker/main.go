@@ -197,6 +197,10 @@ func run(ctx context.Context, w io.Writer, o options) error {
 	if rep != nil {
 		fmt.Fprintf(w, "memworker %s: %d units across %d claims, %d fenced, drained=%v\n",
 			rep.Owner, rep.Units, len(rep.Claimed), rep.Fenced, rep.Drained)
+		if rep.ObsErrors > 0 {
+			fmt.Fprintf(w, "memworker: warning: %d beacon/event writes failed; the fleet view of this worker is incomplete\n",
+				rep.ObsErrors)
+		}
 	}
 	return err
 }

@@ -1,0 +1,143 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"memcontention/internal/obs"
+)
+
+func testStatus() WorkerStatus {
+	return WorkerStatus{
+		Worker:          "w1",
+		Host:            "h",
+		PID:             42,
+		State:           WorkerRunning,
+		StartedUnixNano: 100,
+		UpdatedUnixNano: 200,
+		Units:           7,
+		UnitsPerSec:     1.5,
+		Leases:          []LeaseHolding{{Shard: 0, Epoch: 2}},
+		Shards:          []ShardProgress{{Shard: 0, Done: 7, Pending: 3}},
+	}
+}
+
+func TestBeaconRoundTripAndByteDeterminism(t *testing.T) {
+	s := testStatus()
+	a, err := EncodeBeacon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeBeacon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical statuses encode to different bytes")
+	}
+	got, err := DecodeBeacon(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, s)
+	}
+}
+
+func TestBeaconValidation(t *testing.T) {
+	for name, mutate := range map[string]func(*WorkerStatus){
+		"empty worker":  func(s *WorkerStatus) { s.Worker = "" },
+		"path worker":   func(s *WorkerStatus) { s.Worker = "a/b" },
+		"dotdot worker": func(s *WorkerStatus) { s.Worker = ".." },
+		"bad state":     func(s *WorkerStatus) { s.State = "zombie" },
+	} {
+		s := testStatus()
+		mutate(&s)
+		if _, err := EncodeBeacon(s); err == nil {
+			t.Errorf("%s: encoded", name)
+		}
+	}
+	if _, err := DecodeBeacon([]byte(`{"worker":"w","state":"running","unknown":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeBeacon([]byte(`{"worker":"w","state":"running","started_unix_nano":0,"updated_unix_nano":0,"units":0,"fenced":0,"renew_errors":0,"units_per_sec":0} extra`)); err == nil {
+		t.Error("trailing content accepted")
+	}
+}
+
+func TestWriteReadBeaconsSorted(t *testing.T) {
+	dir := t.TempDir()
+	for _, w := range []string{"zeta", "alpha", "mid"} {
+		s := testStatus()
+		s.Worker = w
+		if err := WriteBeacon(dir, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ReadBeacons(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range got {
+		names = append(names, s.Worker)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("beacons %v, want %v", names, want)
+	}
+
+	// Rewriting a beacon replaces it, never duplicates.
+	s := testStatus()
+	s.Worker = "alpha"
+	s.State = WorkerDrained
+	if err := WriteBeacon(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadBeacons(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].State != WorkerDrained {
+		t.Fatalf("rewritten beacon set: %+v", got)
+	}
+}
+
+func TestReadBeaconsMissingDirIsEmpty(t *testing.T) {
+	got, err := ReadBeacons(t.TempDir())
+	if err != nil || got != nil {
+		t.Fatalf("missing beacons dir: %v, err %v; want empty, nil", got, err)
+	}
+}
+
+func TestRegistrySnapshotMatchesExporter(t *testing.T) {
+	if RegistrySnapshot(nil) != nil {
+		t.Fatal("nil registry snapshots non-nil")
+	}
+	reg := obs.NewRegistry()
+	if RegistrySnapshot(reg) != nil {
+		t.Fatal("empty registry snapshots non-nil")
+	}
+	reg.Counter("memcontention_test_total", "help", nil).Add(3)
+	snap := RegistrySnapshot(reg)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if want := bytes.TrimRight(buf.Bytes(), "\n"); !bytes.Equal(snap, want) {
+		t.Fatalf("snapshot diverges from the exporter:\n%s\n%s", snap, want)
+	}
+
+	// The snapshot must survive an encode/decode round trip inside a
+	// beacon document.
+	s := testStatus()
+	s.Registry = snap
+	img, err := EncodeBeacon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBeacon(img); err != nil {
+		t.Fatal(err)
+	}
+}

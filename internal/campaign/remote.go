@@ -263,6 +263,11 @@ type RemoteReport struct {
 	// Drained reports whether the worker observed the whole campaign
 	// complete (every unit journaled) before returning.
 	Drained bool
+	// ObsErrors counts beacon and event-journal writes that failed.
+	// Observability never kills a worker — emission failures are counted
+	// here instead of propagating — but a nonzero count means memtop's
+	// view of this worker is incomplete.
+	ObsErrors int
 }
 
 // RemoteWorker joins the remote campaign in opts.Dir and works it until
@@ -294,22 +299,51 @@ func RemoteWorker(cfg Config, opts RemoteOptions, names []string) (*RemoteReport
 	}
 	lcfg := opts.Lease
 	lcfg.Dir = filepath.Join(opts.Dir, LeaseDir)
+	lcfg.Registry = cfg.Registry
 	mgr, err := lease.NewManager(lcfg)
 	if err != nil {
 		return nil, err
 	}
-	report := &RemoteReport{Owner: mgr.Owner()}
-	ctx := cfg.ctx()
+	owner := mgr.Owner()
+	fo, err := newFleetObs(opts.Dir, owner.Token, owner.Host, owner.PID, lcfg.WithDefaults().Clock, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	fo.join()
+	report := &RemoteReport{Owner: owner}
+	err = remoteWork(cfg.ctx(), cfg, opts, set, mgr, fo, byShard, report)
+	// Funnel every exit through one final beacon + lifecycle event, so
+	// the fleet plane can tell a clean exit from a crash: a killed worker
+	// never reaches this and leaves a stale "running" beacon behind.
+	switch {
+	case err == nil && report.Drained:
+		fo.finish(WorkerDrained, EventWorkerDrain, "")
+	case err == nil:
+		fo.finish(WorkerStopped, EventWorkerStop, "")
+	case checkpoint.IsCanceled(err):
+		fo.finish(WorkerStopped, EventWorkerStop, "canceled")
+	default:
+		fo.finish(WorkerFailed, EventWorkerStop, err.Error())
+	}
+	report.ObsErrors = fo.errors()
+	return report, err
+}
+
+// remoteWork is RemoteWorker's scan-claim-execute loop, separated so
+// every exit path funnels through the caller's final beacon and
+// lifecycle event.
+func remoteWork(ctx context.Context, cfg Config, opts RemoteOptions, set *checkpoint.ShardSet,
+	mgr *lease.Manager, fo *fleetObs, byShard [][]unit, report *RemoteReport) error {
 	for {
 		progressed := false
 		allDone := true
 		for shard := range byShard {
 			if err := ctx.Err(); err != nil {
-				return report, fmt.Errorf("campaign: remote worker: %w", err)
+				return fmt.Errorf("campaign: remote worker: %w", err)
 			}
 			pending, err := pendingUnits(set, byShard[shard], shard)
 			if err != nil {
-				return report, err
+				return err
 			}
 			if len(pending) == 0 {
 				continue
@@ -317,16 +351,17 @@ func RemoteWorker(cfg Config, opts RemoteOptions, names []string) (*RemoteReport
 			allDone = false
 			floor, err := set.MaxEpoch(shard)
 			if err != nil {
-				return report, err
+				return err
 			}
 			held, err := mgr.Acquire(shard, floor)
 			if errors.Is(err, lease.ErrHeld) {
 				continue // a live owner is on it; move on
 			}
 			if err != nil {
-				return report, err
+				return err
 			}
 			report.Claimed = append(report.Claimed, shard)
+			fo.claimed(held)
 			// Re-scan after the claim: the previous owner may have
 			// journaled more units — or drained the shard entirely —
 			// between our pending scan and its release. Acquire succeeded,
@@ -338,18 +373,21 @@ func RemoteWorker(cfg Config, opts RemoteOptions, names []string) (*RemoteReport
 			pending, err = pendingUnits(set, byShard[shard], shard)
 			if err != nil {
 				held.Release()
-				return report, err
+				fo.leaseDropped(held.Shard())
+				return err
 			}
 			if len(pending) == 0 {
-				if err := held.Release(); err != nil {
-					return report, err
+				relErr := held.Release()
+				fo.leaseDropped(held.Shard())
+				if relErr != nil {
+					return relErr
 				}
 				continue
 			}
-			ran, rerr := runLeasedShard(ctx, cfg, opts, set, held, mgr.Heartbeat(), pending, report)
+			ran, rerr := runLeasedShard(ctx, cfg, opts, set, held, mgr.Heartbeat(), pending, len(byShard[shard]), fo, report)
 			report.Units += ran
 			if rerr != nil {
-				return report, rerr
+				return rerr
 			}
 			if ran > 0 {
 				progressed = true
@@ -357,13 +395,13 @@ func RemoteWorker(cfg Config, opts RemoteOptions, names []string) (*RemoteReport
 		}
 		if allDone {
 			report.Drained = true
-			return report, nil
+			return nil
 		}
 		if !progressed {
 			// Everything pending is leased by live peers (or fenced away
 			// from us). Wait one poll interval for them to finish or die.
 			if err := opts.Sleep(ctx, opts.Poll); err != nil {
-				return report, fmt.Errorf("campaign: remote worker: %w", err)
+				return fmt.Errorf("campaign: remote worker: %w", err)
 			}
 		}
 	}
@@ -460,13 +498,15 @@ func pendingUnits(set *checkpoint.ShardSet, units []unit, shard int) ([]unit, er
 // releases the lease (Release is a no-op on a fenced lease, so a new
 // owner's lease file is never disturbed).
 func runLeasedShard(ctx context.Context, cfg Config, opts RemoteOptions, set *checkpoint.ShardSet,
-	held *lease.Held, heartbeat time.Duration, pending []unit, report *RemoteReport) (int, error) {
+	held *lease.Held, heartbeat time.Duration, pending []unit, assigned int, fo *fleetObs, report *RemoteReport) (int, error) {
 	j, err := set.OpenEpochShard(held.Shard(), held.Epoch())
 	if err != nil {
 		held.Release()
+		fo.leaseDropped(held.Shard())
 		return 0, err
 	}
 	j.SetRegistry(cfg.Registry)
+	fo.shardView(held.Shard(), assigned-len(pending), len(pending))
 
 	// The heartbeat goroutine sleeps first — Acquire just wrote a fresh
 	// heartbeat — then renews until fenced or stopped. Its counters are
@@ -486,7 +526,10 @@ func runLeasedShard(ctx context.Context, cfg Config, opts RemoteOptions, set *ch
 					return
 				}
 				renewErrs++
+				fo.renewFailure(held.Shard(), held.Epoch(), err)
+				continue
 			}
+			fo.tick()
 		}
 	}()
 
@@ -498,7 +541,6 @@ func runLeasedShard(ctx context.Context, cfg Config, opts RemoteOptions, set *ch
 			break
 		}
 		if held.Fenced() {
-			report.Fenced++
 			break
 		}
 		if opts.UnitStart != nil {
@@ -513,6 +555,7 @@ func runLeasedShard(ctx context.Context, cfg Config, opts RemoteOptions, set *ch
 			break
 		}
 		ran++
+		fo.unitDone(held.Shard())
 		if opts.UnitDone != nil {
 			opts.UnitDone(held.Shard(), u.Key)
 		}
@@ -521,8 +564,22 @@ func runLeasedShard(ctx context.Context, cfg Config, opts RemoteOptions, set *ch
 	hbStop()
 	<-hbDone
 	report.RenewErrors += renewErrs
+	// Fencing is judged once, after the heartbeat goroutine has joined:
+	// whether the unit loop saw it or only the last renewal did, the
+	// fence is counted — and journaled — exactly once per lost lease.
+	fenced := held.Fenced()
+	if fenced {
+		report.Fenced++
+		fo.fenced(held)
+	}
 	cerr := j.Close()
 	relErr := held.Release()
+	if !fenced {
+		fo.leaseDropped(held.Shard())
+	}
+	if runErr == nil && cerr == nil && relErr == nil && !fenced && ran == len(pending) {
+		fo.shardComplete(held)
+	}
 	if runErr != nil {
 		return ran, runErr
 	}

@@ -52,6 +52,15 @@ type ShardOptions struct {
 	// with the total completed so far. The soak harness cancels the
 	// campaign here to model whole-process kills at unit boundaries.
 	UnitDone func(completed int)
+
+	// Worker identifies this executor in the campaign's fleet plane:
+	// beacons/<Worker>.json and events/<Worker>.jsonl under Dir (empty:
+	// "supervisor"). Only persistent runs (Dir set) get a fleet plane;
+	// throwaway temp-dir runs emit nothing.
+	Worker string
+	// Clock drives the fleet plane's timestamps (nil: obs.WallClock;
+	// tests inject obs.SimClock for byte-deterministic beacons).
+	Clock obs.Clock
 }
 
 func (o ShardOptions) withDefaults() ShardOptions {
@@ -141,6 +150,7 @@ type Supervisor struct {
 	opts ShardOptions
 	set  *checkpoint.ShardSet
 	m    supervisorMetrics
+	fo   *fleetObs // fleet plane of persistent runs; nil for temp dirs
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -307,6 +317,7 @@ func (s *Supervisor) complete(st *unitState) {
 	hook := s.opts.UnitDone
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.fo.unitDone(st.shard)
 	if hook != nil {
 		hook(completed)
 	}
@@ -336,6 +347,9 @@ func (s *Supervisor) fail(st *unitState, cause error) {
 	s.perShard[st.shard].quarantined++
 	s.perShard[st.shard].pending--
 	s.m.quarantined.Inc()
+	// fleetObs has its own lock and never takes s.mu, so emitting under
+	// the supervisor lock cannot deadlock.
+	s.fo.quarantined(st.shard, st.unit.Key, uerr.Error())
 	s.cond.Broadcast()
 }
 
@@ -442,6 +456,12 @@ func (s *Supervisor) run(units []unit) ([]QuarantineRecord, error) {
 	}
 	defer s.closeJournals()
 	s.enqueue(units)
+	if s.fo != nil {
+		for _, sp := range s.Progress().Shards {
+			s.fo.shardView(sp.Shard, sp.Done, sp.Pending)
+		}
+		s.fo.beacon()
+	}
 
 	ctx := s.cfg.ctx()
 	died := make(chan workerDeath)
@@ -540,6 +560,7 @@ func shardedRun(cfg Config, opts ShardOptions, names []string,
 		names = TestbedNames()
 	}
 	opts = opts.withDefaults()
+	persistent := opts.Dir != ""
 	if opts.Dir == "" {
 		tmp, err := os.MkdirTemp("", "memcontention-shards-*")
 		if err != nil {
@@ -557,7 +578,29 @@ func shardedRun(cfg Config, opts ShardOptions, names []string,
 	if err != nil {
 		return nil, err
 	}
+	if persistent {
+		worker := opts.Worker
+		if worker == "" {
+			worker = "supervisor"
+		}
+		fo, ferr := newFleetObs(opts.Dir, worker, "", 0, opts.Clock, cfg.Registry)
+		if ferr != nil {
+			return nil, ferr
+		}
+		sup.fo = fo
+		fo.join()
+	}
 	quar, err := sup.run(units)
+	switch {
+	case err == nil && len(quar) == 0:
+		sup.fo.finish(WorkerDrained, EventWorkerDrain, "")
+	case err == nil:
+		sup.fo.finish(WorkerDrained, EventWorkerDrain, fmt.Sprintf("%d units quarantined", len(quar)))
+	case checkpoint.IsCanceled(err):
+		sup.fo.finish(WorkerStopped, EventWorkerStop, "canceled")
+	default:
+		sup.fo.finish(WorkerFailed, EventWorkerStop, err.Error())
+	}
 	res := &ShardResult{Quarantine: quar, Progress: sup.Progress(), Dir: opts.Dir}
 	if err != nil {
 		return res, err

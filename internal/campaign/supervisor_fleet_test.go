@@ -1,0 +1,184 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestShardedPipelineFleetPlane proves the in-process sharded executor
+// participates in the fleet plane exactly like a remote worker: a
+// persistent run writes a beacon and an event journal an operator can
+// read with memtop while (and after) the campaign runs.
+func TestShardedPipelineFleetPlane(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	clk := newRemoteClock()
+	res, err := ShardedPipeline(Config{Seed: 1}, ShardOptions{
+		Workers: 4,
+		Dir:     dir,
+		Sleep:   noSleep,
+		Worker:  "sup-test",
+		Clock:   clk.Now,
+	}, testNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Artifacts == nil {
+		t.Fatal("sharded run produced no artifacts")
+	}
+
+	beacons, err := ReadBeacons(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beacons) != 1 || beacons[0].Worker != "sup-test" {
+		t.Fatalf("beacons: %+v, want one for sup-test", beacons)
+	}
+	b := beacons[0]
+	if b.State != WorkerDrained {
+		t.Fatalf("terminal beacon state %q, want drained", b.State)
+	}
+	if b.Units != res.Progress.Done || b.Units == 0 {
+		t.Fatalf("beacon units %d, progress done %d", b.Units, res.Progress.Done)
+	}
+	// The beacon's shard views agree with the supervisor's own report.
+	if len(b.Shards) != len(res.Progress.Shards) {
+		t.Fatalf("beacon has %d shard views, progress %d", len(b.Shards), len(res.Progress.Shards))
+	}
+	for i, s := range b.Shards {
+		if s != res.Progress.Shards[i] {
+			t.Fatalf("shard view %d diverges: beacon %+v, progress %+v", i, s, res.Progress.Shards[i])
+		}
+	}
+
+	events, err := ReadEvents(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[EventType]int{}
+	for _, e := range events {
+		counts[e.Type]++
+		if e.Worker != "sup-test" {
+			t.Fatalf("event from unexpected worker: %+v", e)
+		}
+	}
+	if counts[EventWorkerJoin] != 1 || counts[EventWorkerDrain] != 1 {
+		t.Fatalf("lifecycle events: %v", counts)
+	}
+}
+
+// TestShardedPipelineFleetPlaneQuarantine checks the poison path: each
+// quarantined unit lands in the event journal with its key, and the
+// drain detail says how many units were left behind.
+func TestShardedPipelineFleetPlaneQuarantine(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	clk := newRemoteClock()
+	poison := "unit|netbench|" + testNames[0]
+	_, err := ShardedPipeline(Config{Seed: 1}, ShardOptions{
+		Workers:     4,
+		Dir:         dir,
+		MaxAttempts: 2,
+		Sleep:       noSleep,
+		Worker:      "sup-test",
+		Clock:       clk.Now,
+		FaultHook: func(key string, attempt int) error {
+			if key == poison {
+				return errors.New("poison unit")
+			}
+			return nil
+		},
+	}, testNames)
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("err = %v, want quarantine", err)
+	}
+
+	events, err := ReadEvents(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var quarEvents, drains []Event
+	for _, e := range events {
+		switch e.Type {
+		case EventUnitQuarantine:
+			quarEvents = append(quarEvents, e)
+		case EventWorkerDrain:
+			drains = append(drains, e)
+		}
+	}
+	if len(quarEvents) != 1 || quarEvents[0].Key != poison {
+		t.Fatalf("quarantine events: %+v, want exactly one for %s", quarEvents, poison)
+	}
+	if quarEvents[0].Shard != homeShard(poison, 4) {
+		t.Fatalf("quarantine event shard %d, home shard %d", quarEvents[0].Shard, homeShard(poison, 4))
+	}
+	if len(drains) != 1 || !strings.Contains(drains[0].Detail, "1 units quarantined") {
+		t.Fatalf("drain events: %+v, want one with the quarantine detail", drains)
+	}
+
+	beacons, err := ReadBeacons(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(beacons) != 1 || beacons[0].State != WorkerDrained {
+		t.Fatalf("beacons after quarantine: %+v", beacons)
+	}
+	var q int
+	for _, s := range beacons[0].Shards {
+		q += s.Quarantined
+	}
+	if q != 1 {
+		t.Fatalf("beacon shard views carry %d quarantined, want 1", q)
+	}
+}
+
+// TestShardedPipelineTempDirSkipsFleetPlane pins the opt-in contract: a
+// throwaway run (no Dir) must not write beacons or events anywhere.
+func TestShardedPipelineTempDirSkipsFleetPlane(t *testing.T) {
+	res, err := ShardedPipeline(Config{Seed: 1}, ShardOptions{Workers: 2, Sleep: noSleep}, testNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The temp dir is already removed; the result records where it was.
+	if res.Dir == "" {
+		t.Fatal("result lost the shard dir")
+	}
+	if _, err := os.Stat(res.Dir); !os.IsNotExist(err) {
+		t.Fatalf("temp shard dir survived: %v", err)
+	}
+}
+
+// TestShardedPipelineBeaconDeterministic runs the same persistent
+// campaign twice under the same manual clock and compares the beacon
+// and event-journal bytes — the fleet plane's determinism contract.
+func TestShardedPipelineBeaconDeterministic(t *testing.T) {
+	read := func(t *testing.T, i int) (beacon, journal []byte) {
+		t.Helper()
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("campaign-%d", i))
+		clk := newRemoteClock()
+		if _, err := ShardedPipeline(Config{Seed: 1}, ShardOptions{
+			Workers: 4, Dir: dir, Sleep: noSleep, Worker: "sup", Clock: clk.Now,
+		}, testNames); err != nil {
+			t.Fatal(err)
+		}
+		beacon, err := os.ReadFile(filepath.Join(dir, BeaconsDir, "sup.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		journal, err = os.ReadFile(filepath.Join(dir, EventsDir, "sup.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return beacon, journal
+	}
+	b0, j0 := read(t, 0)
+	b1, j1 := read(t, 1)
+	if string(b0) != string(b1) {
+		t.Fatalf("beacons differ across identical runs:\n%s\n%s", b0, b1)
+	}
+	if string(j0) != string(j1) {
+		t.Fatalf("event journals differ across identical runs:\n%s\n%s", j0, j1)
+	}
+}

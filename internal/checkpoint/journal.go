@@ -48,11 +48,37 @@ func EncodeEntry(e Entry) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: encode entry %q: %w", e.Key, err)
 	}
+	return FrameLine(rec), nil
+}
+
+// FrameLine wraps one record in the journal line framing shared by every
+// append-only stream in the repo (checkpoint journals, lease files, the
+// campaign event journal): an IEEE CRC32 of the record as 8 hex digits,
+// a space, the record, a newline.
+func FrameLine(rec []byte) []byte {
 	line := make([]byte, 0, len(rec)+10)
 	line = fmt.Appendf(line, "%08x ", crc32.ChecksumIEEE(rec))
 	line = append(line, rec...)
 	line = append(line, '\n')
-	return line, nil
+	return line
+}
+
+// UnframeLine validates the framing and CRC of one line (without its
+// trailing newline) and returns the enclosed record. It never panics on
+// any input; a malformed or corrupt line reports ok=false.
+func UnframeLine(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	crc, ok := parseHex8(line[:8])
+	if !ok {
+		return nil, false
+	}
+	rec := line[9:]
+	if crc32.ChecksumIEEE(rec) != crc {
+		return nil, false
+	}
+	return rec, true
 }
 
 // DecodeResult is the outcome of decoding a journal image.
@@ -113,15 +139,8 @@ func Decode(data []byte) DecodeResult {
 
 // decodeLine validates one journal line (without its newline).
 func decodeLine(line []byte) (Entry, bool) {
-	if len(line) < 10 || line[8] != ' ' {
-		return Entry{}, false
-	}
-	crc, ok := parseHex8(line[:8])
+	rec, ok := UnframeLine(line)
 	if !ok {
-		return Entry{}, false
-	}
-	rec := line[9:]
-	if crc32.ChecksumIEEE(rec) != crc {
 		return Entry{}, false
 	}
 	var e Entry

@@ -42,6 +42,10 @@ type Config struct {
 	Clock obs.Clock
 	// Owner identifies this process (zero value: SelfOwner()).
 	Owner Owner
+	// Registry receives the memcontention_lease_* metrics (claims,
+	// takeovers, renewals, renew failures, fences, held leases); nil
+	// disables them at zero cost.
+	Registry *obs.Registry
 }
 
 // ConfigError is the structured rejection of an invalid lease
@@ -116,6 +120,34 @@ var ErrFenced = errors.New("lease: deposed by a higher epoch")
 // campaign directory on behalf of one owner process.
 type Manager struct {
 	cfg Config
+	m   instruments
+}
+
+// instruments are the manager's telemetry hooks; with no registry every
+// field is nil and records nothing (the obs zero-cost-when-off
+// contract). Until PR 9 leases were invisible to the registry — an
+// operator could not tell a fleet renewing happily from one fencing
+// itself to death without reading the lease directory by hand.
+type instruments struct {
+	claims        *obs.Counter
+	takeovers     *obs.Counter
+	renewals      *obs.Counter
+	renewFailures *obs.Counter
+	fences        *obs.Counter
+	released      *obs.Counter
+	held          *obs.Gauge
+}
+
+func newInstruments(r *obs.Registry) instruments {
+	return instruments{
+		claims:        r.Counter("memcontention_lease_claims_total", "Shard leases acquired by this process.", nil),
+		takeovers:     r.Counter("memcontention_lease_takeovers_total", "Acquisitions that replaced a stale or corrupt lease (orphan takeover).", nil),
+		renewals:      r.Counter("memcontention_lease_renewals_total", "Successful heartbeat renewals.", nil),
+		renewFailures: r.Counter("memcontention_lease_renew_failures_total", "Transient heartbeat-renewal failures (not fences).", nil),
+		fences:        r.Counter("memcontention_lease_fences_total", "Leases lost to a higher fencing epoch (this process was deposed).", nil),
+		released:      r.Counter("memcontention_lease_releases_total", "Leases released after their shard drained.", nil),
+		held:          r.Gauge("memcontention_lease_held", "Shard leases currently held by this process.", nil),
+	}
 }
 
 // NewManager validates cfg, fills defaults (including a fresh SelfOwner
@@ -135,7 +167,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := atomicio.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lease: dir %s: %w", cfg.Dir, err)
 	}
-	return &Manager{cfg: cfg}, nil
+	return &Manager{cfg: cfg, m: newInstruments(cfg.Registry)}, nil
 }
 
 // Owner reports the identity this manager acquires leases under.
@@ -236,6 +268,10 @@ func (m *Manager) Acquire(shard int, epochFloor uint64) (*Held, error) {
 		return nil, err
 	}
 	h := &Held{m: m, shard: shard, epoch: epoch}
+	if state == StateStale || state == StateCorrupt {
+		h.tookOver = true
+		h.deposed = prev.Owner
+	}
 	if err := h.write(); err != nil {
 		return nil, err
 	}
@@ -257,6 +293,11 @@ func (m *Manager) Acquire(shard int, epochFloor uint64) (*Held, error) {
 		return nil, fmt.Errorf("lease: shard %d lost a claim race to %s (epoch %d > %d): %w",
 			shard, cur.Owner, cur.Epoch, epoch, ErrHeld)
 	}
+	m.m.claims.Inc()
+	if h.tookOver {
+		m.m.takeovers.Inc()
+	}
+	m.m.held.Add(1)
 	return h, nil
 }
 
@@ -323,13 +364,16 @@ func (m *Manager) claimEpoch(shard int, floor uint64) (uint64, error) {
 // Release are safe for concurrent use (the heartbeat goroutine renews
 // while the worker loop may release).
 type Held struct {
-	m     *Manager
-	shard int
-	epoch uint64
+	m        *Manager
+	shard    int
+	epoch    uint64
+	tookOver bool
+	deposed  Owner
 
 	mu       sync.Mutex
 	fenced   bool
 	released bool
+	dropped  bool // held-gauge already decremented (fence or release)
 }
 
 // Shard reports the shard this lease covers.
@@ -338,6 +382,25 @@ func (h *Held) Shard() int { return h.shard }
 // Epoch reports the fencing epoch this lease was acquired under; the
 // owner journals to the matching epoch-suffixed shard file.
 func (h *Held) Epoch() uint64 { return h.epoch }
+
+// TookOver reports whether this acquisition replaced a stale or corrupt
+// lease — an orphan takeover rather than a fresh claim. The fleet event
+// journal distinguishes the two in the campaign timeline.
+func (h *Held) TookOver() bool { return h.tookOver }
+
+// Deposed reports the owner whose stale lease this acquisition replaced
+// (the zero Owner for fresh claims and corrupt leases).
+func (h *Held) Deposed() Owner { return h.deposed }
+
+// drop decrements the held gauge exactly once per lease. Callers hold
+// h.mu.
+func (h *Held) drop() {
+	if h.dropped {
+		return
+	}
+	h.dropped = true
+	h.m.m.held.Add(-1)
+}
 
 // write rewrites the lease file with a fresh heartbeat.
 func (h *Held) write() error {
@@ -376,16 +439,24 @@ func (h *Held) Renew() error {
 	}
 	data, err := os.ReadFile(h.m.Path(h.shard))
 	if err != nil && !os.IsNotExist(err) {
+		h.m.m.renewFailures.Inc()
 		return fmt.Errorf("lease: renew shard %d: %w", h.shard, err)
 	}
 	if err == nil {
 		if cur, derr := Decode(data); derr == nil && cur.Epoch > h.epoch {
 			h.fenced = true
+			h.m.m.fences.Inc()
+			h.drop()
 			return fmt.Errorf("lease: shard %d epoch %d deposed by %s at epoch %d: %w",
 				h.shard, h.epoch, cur.Owner, cur.Epoch, ErrFenced)
 		}
 	}
-	return h.write()
+	if werr := h.write(); werr != nil {
+		h.m.m.renewFailures.Inc()
+		return werr
+	}
+	h.m.m.renewals.Inc()
+	return nil
 }
 
 // Fenced reports whether a Renew observed a higher epoch; the owner
@@ -410,6 +481,8 @@ func (h *Held) Release() error {
 		return nil
 	}
 	h.released = true
+	h.m.m.released.Inc()
+	h.drop()
 	path := h.m.Path(h.shard)
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {

@@ -1,0 +1,223 @@
+package lease
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"memcontention/internal/obs"
+)
+
+// metered builds a manager whose instruments land in a fresh registry,
+// returning both. The registry lookup contract (same name+labels → same
+// instrument) lets the test read values through reg.Counter/Gauge.
+func metered(t *testing.T, dir string, clock *manualClock, token string) (*Manager, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	cfg := testConfig(t, dir, clock, token)
+	cfg.Registry = reg
+	return mustManager(t, cfg), reg
+}
+
+func counterValue(reg *obs.Registry, name string) float64 {
+	return reg.Counter(name, "", nil).Value()
+}
+
+// TestManagerMetricsLifecycle walks one full fleet story — claim, renew,
+// staleness, orphan takeover, fence, release — and checks every
+// memcontention_lease_* instrument at each step.
+func TestManagerMetricsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	clk := newManualClock()
+	a, regA := metered(t, dir, clk, "aaaa")
+	b, regB := metered(t, dir, clk, "bbbb")
+
+	heldA, err := a.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(regA, "memcontention_lease_claims_total"); got != 1 {
+		t.Fatalf("claims after acquire = %v, want 1", got)
+	}
+	if got := counterValue(regA, "memcontention_lease_takeovers_total"); got != 0 {
+		t.Fatalf("fresh claim counted as takeover: %v", got)
+	}
+	if got := regA.Gauge("memcontention_lease_held", "", nil).Value(); got != 1 {
+		t.Fatalf("held after acquire = %v, want 1", got)
+	}
+
+	clk.Advance(100 * time.Millisecond)
+	if err := heldA.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(regA, "memcontention_lease_renewals_total"); got != 1 {
+		t.Fatalf("renewals = %v, want 1", got)
+	}
+
+	// Let A's lease go stale (TTL 1s, no grace), then B takes over.
+	clk.Advance(2 * time.Second)
+	heldB, err := b.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(regB, "memcontention_lease_claims_total"); got != 1 {
+		t.Fatalf("B claims = %v, want 1", got)
+	}
+	if got := counterValue(regB, "memcontention_lease_takeovers_total"); got != 1 {
+		t.Fatalf("B takeovers = %v, want 1", got)
+	}
+	if !heldB.TookOver() || heldB.Deposed().Token != "aaaa" {
+		t.Fatalf("takeover provenance lost: tookOver=%v deposed=%v", heldB.TookOver(), heldB.Deposed())
+	}
+
+	// A's next renewal observes the higher epoch: fenced, held gauge
+	// returns to zero exactly once.
+	if err := heldA.Renew(); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie renew: %v, want ErrFenced", err)
+	}
+	if got := counterValue(regA, "memcontention_lease_fences_total"); got != 1 {
+		t.Fatalf("fences = %v, want 1", got)
+	}
+	if got := regA.Gauge("memcontention_lease_held", "", nil).Value(); got != 0 {
+		t.Fatalf("held after fence = %v, want 0", got)
+	}
+	// A fenced lease releases as a no-op: no release counted, gauge
+	// untouched (already dropped by the fence).
+	if err := heldA.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(regA, "memcontention_lease_releases_total"); got != 0 {
+		t.Fatalf("fenced release counted: %v", got)
+	}
+	if got := regA.Gauge("memcontention_lease_held", "", nil).Value(); got != 0 {
+		t.Fatalf("held double-dropped to %v", got)
+	}
+
+	if err := heldB.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(regB, "memcontention_lease_releases_total"); got != 1 {
+		t.Fatalf("B releases = %v, want 1", got)
+	}
+	if got := regB.Gauge("memcontention_lease_held", "", nil).Value(); got != 0 {
+		t.Fatalf("B held after release = %v, want 0", got)
+	}
+	// Releasing twice stays a no-op.
+	if err := heldB.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(regB, "memcontention_lease_releases_total"); got != 1 {
+		t.Fatalf("double release counted: %v", got)
+	}
+}
+
+// TestManagerMetricsRenewFailure covers the transient-failure counter:
+// an unreadable lease file fails the renewal without fencing.
+func TestManagerMetricsRenewFailure(t *testing.T) {
+	dir := t.TempDir()
+	clk := newManualClock()
+	m, reg := metered(t, dir, clk, "aaaa")
+	h, err := m.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the lease file with an unreadable directory: ReadFile
+	// fails with a non-NotExist error.
+	if err := os.Remove(m.Path(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(m.Path(0), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Renew(); err == nil {
+		t.Fatal("renew over a directory succeeded")
+	}
+	if got := counterValue(reg, "memcontention_lease_renew_failures_total"); got != 1 {
+		t.Fatalf("renew failures = %v, want 1", got)
+	}
+	if got := counterValue(reg, "memcontention_lease_fences_total"); got != 0 {
+		t.Fatalf("transient failure counted as fence: %v", got)
+	}
+	if h.Fenced() {
+		t.Fatal("transient failure fenced the lease")
+	}
+}
+
+// TestManagerWithoutRegistry confirms the obs zero-cost-when-off
+// contract: a nil registry records nothing and panics nowhere.
+func TestManagerWithoutRegistry(t *testing.T) {
+	dir := t.TempDir()
+	clk := newManualClock()
+	m := mustManager(t, testConfig(t, dir, clk, "aaaa"))
+	h, err := m.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Renew(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanClassifiesWithoutTouching exercises the read-only scanner:
+// classification matches Manager.Inspect, the output is shard-sorted,
+// and scanning never creates or mutates anything.
+func TestScanClassifiesWithoutTouching(t *testing.T) {
+	dir := t.TempDir()
+	clk := newManualClock()
+
+	// A missing directory scans as empty.
+	if infos, err := Scan(dir+"/nope", time.Second, -1, clk.Now); err != nil || infos != nil {
+		t.Fatalf("missing dir: %v, err %v; want empty, nil", infos, err)
+	}
+
+	m := mustManager(t, testConfig(t, dir, clk, "aaaa"))
+
+	// Shard 2: live. Shard 0: will go stale. Shard 5: corrupt garbage.
+	h0, err := m.Acquire(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h0
+	clk.Advance(2 * time.Second) // shard 0's heartbeat ages past TTL
+	h2, err := m.Acquire(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(m.Path(5), []byte("not a lease\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := Scan(dir, time.Second, -1, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("scanned %d leases, want 3: %+v", len(infos), infos)
+	}
+	if infos[0].Shard != 0 || infos[0].State != StateStale || infos[0].Age != 2*time.Second {
+		t.Fatalf("shard 0: %+v, want stale at age 2s", infos[0])
+	}
+	if infos[1].Shard != 2 || infos[1].State != StateLive || infos[1].Age != 0 {
+		t.Fatalf("shard 2: %+v, want live at age 0", infos[1])
+	}
+	if infos[1].Lease.Epoch != h2.Epoch() || infos[1].Lease.Owner.Token != "aaaa" {
+		t.Fatalf("shard 2 lease record: %+v", infos[1].Lease)
+	}
+	if infos[2].Shard != 5 || infos[2].State != StateCorrupt || infos[2].Age != 0 {
+		t.Fatalf("shard 5: %+v, want corrupt at age 0", infos[2])
+	}
+
+	// Read-only: a second scan sees the identical directory (no claim
+	// markers, no rewritten heartbeats, garbage untouched).
+	again, err := Scan(dir, time.Second, -1, clk.Now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 3 || again[0].Age != infos[0].Age {
+		t.Fatalf("second scan diverged: %+v", again)
+	}
+}

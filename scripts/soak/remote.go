@@ -20,7 +20,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -115,11 +117,15 @@ func soakRemote(seed uint64) error {
 		return err
 	}
 
-	// Build the real memworker binary once; every step below goes
-	// through the production CLI, not in-process shortcuts.
+	// Build the real memworker and memtop binaries once; every step
+	// below goes through the production CLIs, not in-process shortcuts.
 	bin := filepath.Join(dir, "memworker")
 	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/memworker").CombinedOutput(); err != nil {
 		return fmt.Errorf("build memworker: %w\n%s", err, out)
+	}
+	topBin := filepath.Join(dir, "memtop")
+	if out, err := exec.Command("go", "build", "-o", topBin, "./cmd/memtop").CombinedOutput(); err != nil {
+		return fmt.Errorf("build memtop: %w\n%s", err, out)
 	}
 
 	runDir := filepath.Join(dir, "run")
@@ -185,6 +191,15 @@ func soakRemote(seed uint64) error {
 	logf("  [remote] SIGKILLed 2 workers mid-unit")
 	time.Sleep(staleWait)
 
+	// Mid-churn fleet view: the zombie is frozen and the victims are
+	// dead, so memtop must show three stale running workers, only stale
+	// leases, and — being strictly read-only — leave the campaign
+	// directory byte-for-byte untouched.
+	if err := assertMidChurnView(topBin, runDir); err != nil {
+		return err
+	}
+	logf("  [remote] memtop mid-churn: 3 stale workers, stale leases only, directory untouched")
+
 	// The takeover worker joins bare — everything comes from
 	// campaign.json — and must claim all shards past the TTL and drain
 	// the whole campaign: nothing was journaled before the signals, so
@@ -197,7 +212,7 @@ func soakRemote(seed uint64) error {
 	if err := succ.cmd.Wait(); err != nil {
 		return fmt.Errorf("takeover worker failed: %w\noutput:\n%s", err, succ.out.String())
 	}
-	units, claims, _, drained, err := succ.report()
+	units, claims, sfenced, drained, err := succ.report()
 	if err != nil {
 		return fmt.Errorf("takeover worker: %w", err)
 	}
@@ -218,7 +233,7 @@ func soakRemote(seed uint64) error {
 	if err := zombie.cmd.Wait(); err != nil {
 		return fmt.Errorf("resurrected zombie exited dirty: %w\noutput:\n%s", err, zombie.out.String())
 	}
-	zunits, _, _, zdrained, err := zombie.report()
+	zunits, _, zfenced, zdrained, err := zombie.report()
 	if err != nil {
 		return fmt.Errorf("zombie: %w", err)
 	}
@@ -251,6 +266,14 @@ func soakRemote(seed uint64) error {
 	if left, _ := filepath.Glob(filepath.Join(leaseDir, "*.lease")); len(left) != 0 {
 		return fmt.Errorf("lease files left after the campaign drained: %v", left)
 	}
+
+	// Post-merge fleet view: memtop's unit counts must match the merged
+	// ground truth, and the event timeline must tell the churn story with
+	// every claim, takeover, fence and completion exactly once.
+	if err := assertFinalFleetView(topBin, runDir, units, zfenced+sfenced); err != nil {
+		return err
+	}
+	logf("  [remote] memtop final view consistent: %d/%d units, exactly-once timeline", units, units)
 	fmt.Printf("soak: remote ok — 2 workers SIGKILLed + 1 zombie fenced (%d dead-epoch writes), takeover drained %d units across %d shards, merged artifacts byte-identical\n",
 		zunits, units, remoteShards)
 	return nil
@@ -332,6 +355,224 @@ func assertDeadEpochWrite(runDir string) error {
 	}
 	if !overlap {
 		return fmt.Errorf("no unit key landed in two epochs of one shard — the zombie never wrote after being deposed")
+	}
+	return nil
+}
+
+// runMemtop runs the memtop binary against the campaign directory and
+// verifies it is strictly read-only: the recursive (path, size) snapshot
+// of the directory must be identical before and after. No worker is
+// appending during either probe (zombie frozen or exited, victims dead),
+// so any difference is memtop's own doing.
+func runMemtop(bin, runDir string, args ...string) (string, error) {
+	before, err := snapshotDir(runDir)
+	if err != nil {
+		return "", err
+	}
+	cmd := exec.Command(bin, append([]string{"-dir", runDir, "-lease-ttl", remoteTTL.String()}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("memtop %v: %w\n%s", args, err, out)
+	}
+	after, err := snapshotDir(runDir)
+	if err != nil {
+		return "", err
+	}
+	if before != after {
+		return "", fmt.Errorf("memtop %v mutated the campaign directory:\nbefore:\n%s\nafter:\n%s", args, before, after)
+	}
+	return string(out), nil
+}
+
+// snapshotDir renders the campaign directory as sorted "path size" lines.
+func snapshotDir(dir string) (string, error) {
+	var b strings.Builder
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "%s %d\n", path, info.Size())
+		return nil
+	})
+	return b.String(), err
+}
+
+// fleetDoc is the subset of memtop's JSON report the soak asserts on.
+type fleetDoc struct {
+	Units       int `json:"units"`
+	Done        int `json:"done"`
+	Pending     int `json:"pending"`
+	Quarantined int `json:"quarantined"`
+	Workers     []struct {
+		Worker string `json:"worker"`
+		State  string `json:"state"`
+		Stale  bool   `json:"stale"`
+	} `json:"workers"`
+	Leases []struct {
+		Shard int    `json:"shard"`
+		State string `json:"state"`
+	} `json:"leases"`
+	Timeline []campaign.Event `json:"timeline"`
+}
+
+func memtopJSON(bin, runDir string) (*fleetDoc, error) {
+	out, err := runMemtop(bin, runDir, "-json")
+	if err != nil {
+		return nil, err
+	}
+	var doc fleetDoc
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		return nil, fmt.Errorf("memtop -json output: %w\n%s", err, out)
+	}
+	return &doc, nil
+}
+
+// assertMidChurnView checks the fleet view while the churn is at its
+// worst: every worker that ever joined shows a stale running beacon,
+// every surviving lease is stale, and nothing is done yet (the doomed
+// workers were all interrupted before their first journal append).
+func assertMidChurnView(bin, runDir string) error {
+	doc, err := memtopJSON(bin, runDir)
+	if err != nil {
+		return err
+	}
+	if len(doc.Workers) != 3 {
+		return fmt.Errorf("mid-churn: %d workers in the fleet view, want 3", len(doc.Workers))
+	}
+	for _, w := range doc.Workers {
+		if w.State != campaign.WorkerRunning || !w.Stale {
+			return fmt.Errorf("mid-churn: worker %s is %s (stale=%v), want stale running", w.Worker, w.State, w.Stale)
+		}
+	}
+	if len(doc.Leases) == 0 {
+		return fmt.Errorf("mid-churn: no leases in the fleet view; the orphans' leases should survive their owners")
+	}
+	for _, l := range doc.Leases {
+		if l.State == "live" {
+			return fmt.Errorf("mid-churn: shard %d lease reads live; every owner is dead or frozen", l.Shard)
+		}
+	}
+	if doc.Done != 0 || doc.Pending != doc.Units {
+		return fmt.Errorf("mid-churn: %d/%d done with %d pending; nothing should have journaled before the signals",
+			doc.Done, doc.Units, doc.Pending)
+	}
+	// The human-readable report renders from the same data without error.
+	if _, err := runMemtop(bin, runDir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// assertFinalFleetView checks the drained campaign: memtop's unit counts
+// agree with the merged ground truth, the beacons tell who drained and
+// who crashed, and the merged timeline carries every claim, takeover,
+// fence and shard completion exactly once.
+func assertFinalFleetView(bin, runDir string, mergedUnits, wantFences int) error {
+	doc, err := memtopJSON(bin, runDir)
+	if err != nil {
+		return err
+	}
+	if doc.Done != mergedUnits || doc.Done != doc.Units || doc.Pending != 0 || doc.Quarantined != 0 {
+		return fmt.Errorf("final view: %d/%d done, %d pending, %d quarantined; merge reported %d units",
+			doc.Done, doc.Units, doc.Pending, doc.Quarantined, mergedUnits)
+	}
+	if len(doc.Leases) != 0 {
+		return fmt.Errorf("final view: %d leases survive a drained campaign", len(doc.Leases))
+	}
+	var drained, staleRunning int
+	for _, w := range doc.Workers {
+		switch {
+		case w.State == campaign.WorkerDrained && !w.Stale:
+			drained++
+		case w.State == campaign.WorkerRunning && w.Stale:
+			staleRunning++
+		default:
+			return fmt.Errorf("final view: worker %s in unexpected state %s (stale=%v)", w.Worker, w.State, w.Stale)
+		}
+	}
+	if drained != 2 || staleRunning != 2 {
+		return fmt.Errorf("final view: %d drained + %d stale-running workers, want 2 + 2 (zombie and takeover drained; victims crashed)",
+			drained, staleRunning)
+	}
+
+	// Exactly-once timeline: fencing epochs are claimed by at most one
+	// owner ever, so each (shard, epoch) may carry one claim-or-takeover
+	// and one completion; lifecycle events are one per worker.
+	counts := map[campaign.EventType]int{}
+	claimsAt := map[string]int{}
+	completesAt := map[string]int{}
+	joins := map[string]int{}
+	fences := map[string]int{}
+	for _, e := range doc.Timeline {
+		counts[e.Type]++
+		at := fmt.Sprintf("%d@e%d", e.Shard, e.Epoch)
+		switch e.Type {
+		case campaign.EventLeaseClaim, campaign.EventOrphanTakeover:
+			claimsAt[at]++
+		case campaign.EventShardComplete:
+			completesAt[at]++
+		case campaign.EventWorkerJoin:
+			joins[e.Worker]++
+		case campaign.EventLeaseFence:
+			fences[at]++
+		}
+	}
+	for at, n := range claimsAt {
+		if n != 1 {
+			return fmt.Errorf("timeline: %d claim events for %s, want exactly 1", n, at)
+		}
+	}
+	for at, n := range completesAt {
+		if n != 1 {
+			return fmt.Errorf("timeline: %d shard-complete events for %s, want exactly 1", n, at)
+		}
+	}
+	for at, n := range fences {
+		if n != 1 {
+			return fmt.Errorf("timeline: %d fence events for %s, want exactly 1", n, at)
+		}
+	}
+	for w, n := range joins {
+		if n != 1 {
+			return fmt.Errorf("timeline: worker %s joined %d times", w, n)
+		}
+	}
+	if len(joins) != 4 {
+		return fmt.Errorf("timeline: %d workers joined, want 4 (zombie, 2 victims, takeover)", len(joins))
+	}
+	if counts[campaign.EventWorkerDrain] != 2 {
+		return fmt.Errorf("timeline: %d drains, want 2 (zombie and takeover)", counts[campaign.EventWorkerDrain])
+	}
+	if counts[campaign.EventOrphanTakeover] < 1 {
+		return fmt.Errorf("timeline: no orphan takeover recorded; the takeover worker reclaimed stale shards")
+	}
+	if counts[campaign.EventLeaseFence] != wantFences {
+		return fmt.Errorf("timeline: %d fence events, workers reported %d fences", counts[campaign.EventLeaseFence], wantFences)
+	}
+	if counts[campaign.EventShardComplete] < remoteShards {
+		return fmt.Errorf("timeline: %d shard completions, want >= %d", counts[campaign.EventShardComplete], remoteShards)
+	}
+
+	// The CLI timeline and the library agree line for line.
+	events, err := campaign.ReadEvents(runDir)
+	if err != nil {
+		return err
+	}
+	tlOut, err := runMemtop(bin, runDir, "-events")
+	if err != nil {
+		return err
+	}
+	lines := strings.Count(tlOut, "\n")
+	if lines != len(events) || len(events) != len(doc.Timeline) {
+		return fmt.Errorf("timeline disagreement: %d CLI lines, %d library events, %d JSON events",
+			lines, len(events), len(doc.Timeline))
 	}
 	return nil
 }
