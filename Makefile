@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: check lint vet memlint build test race repro bench benchdiff fuzz soak soak-parallel soak-remote prof-smoke serve-smoke top-smoke loadtest fmt
+.PHONY: check lint vet memlint memlint-per-check lint-fixtures build test race repro bench benchdiff fuzz soak soak-parallel soak-remote prof-smoke serve-smoke top-smoke loadtest fmt
 
 check: lint build race repro benchdiff ## pre-merge gate: lint + build + race tests + reproduction (+ advisory benchdiff)
 
 # lint is the static-analysis gate: go vet plus the repo's own memlint
-# suite (determinism, maprange, nilhook, durable, errhygiene — see
+# suite (determinism, maprange, nilhook, durable, errhygiene, and the
+# whole-module concurrency checks lockguard/goleak/ctxflow — see
 # docs/static-analysis.md). memlint exits 0 on a clean tree, 1 on
 # findings, 2 on usage/load errors; `go run` caches the memlint build in
 # the standard Go build cache, so repeat runs only pay for analysis.
@@ -18,6 +19,23 @@ vet:
 
 memlint:
 	$(GO) run ./cmd/memlint ./...
+
+# MEMLINT_CHECKS drives the per-check CI step: one memlint invocation
+# per analyzer, timed, so a slow or noisy check is visible in the log
+# instead of hiding inside the aggregate run.
+MEMLINT_CHECKS ?= determinism maprange nilhook durable errhygiene lockguard goleak ctxflow
+memlint-per-check:
+	@for c in $(MEMLINT_CHECKS); do \
+		start=$$(date +%s%N); \
+		$(GO) run ./cmd/memlint -checks $$c ./... || exit 1; \
+		echo "== memlint -checks $$c: $$(( ($$(date +%s%N) - start) / 1000000 )) ms"; \
+	done
+
+# lint-fixtures runs only the analyzer fixture harness (want comments +
+# goldens) — the fast inner loop for analyzer development; regenerate
+# goldens with `go test ./internal/analysis -run Fixture -update`.
+lint-fixtures:
+	$(GO) test -run 'Fixture' -count=1 ./internal/analysis/
 
 build:
 	$(GO) build ./...

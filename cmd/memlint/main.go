@@ -1,16 +1,18 @@
 // Command memlint runs the repo's custom static-analysis suite (see
 // internal/analysis and docs/static-analysis.md): determinism, map-range
-// ordering, nil-hook safety, durable writes and error hygiene, all
+// ordering, nil-hook safety, durable writes, error hygiene, and the
+// whole-module concurrency checks (lockguard, goleak, ctxflow), all
 // implemented on the standard library alone.
 //
 // Usage:
 //
-//	memlint [-C dir] [-checks list] [packages...]
+//	memlint [-C dir] [-checks list] [-json] [-o file] [packages...]
 //
 // Package arguments are module import paths; the "..." suffix matches a
 // subtree and a bare "./..." (the default) means the whole module. The
-// module is always loaded in full — the arguments only filter which
-// packages' findings are reported — so cross-package type information is
+// module is always loaded and analyzed in full — the arguments only
+// filter which packages' findings are reported — so cross-package type
+// information and the call graph behind the concurrency checks are
 // complete either way.
 //
 // Exit codes (documented for CI):
@@ -21,9 +23,13 @@
 //
 // Every finding is printed to stdout as "file:line:col: [check] message",
 // sorted and deduplicated, so output is byte-stable for identical trees.
+// -json switches the report to a JSON array in the same order; -o writes
+// the report durably (atomic rename) to a file instead of stdout.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +38,7 @@ import (
 	"strings"
 
 	"memcontention/internal/analysis"
+	"memcontention/internal/atomicio"
 )
 
 func main() {
@@ -44,8 +51,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("C", ".", "module root to analyze (directory containing go.mod)")
 	checks := fs.String("checks", "", "comma-separated checks to run (default: all; see -list)")
 	list := fs.Bool("list", false, "list available checks and exit")
+	jsonOut := fs.Bool("json", false, "report findings as a JSON array (same order as text)")
+	outPath := fs.String("o", "", "write the report to this file (durable atomic write) instead of stdout")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: memlint [-C dir] [-checks list] [packages...]\n")
+		fmt.Fprintf(stderr, "usage: memlint [-C dir] [-checks list] [-json] [-o file] [packages...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +82,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "memlint: %v\n", err)
 		return 2
 	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "memlint: module at %s contains no Go packages\n", *dir)
+		return 2
+	}
 	modPath, err := analysis.ModulePath(*dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "memlint: %v\n", err)
@@ -84,20 +97,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	diags := analysis.Run(keep, analyzers, analysis.DefaultConfig())
-	abs, _ := filepath.Abs(*dir)
-	for _, d := range diags {
-		rel := d.Path
-		if r, err := filepath.Rel(abs, d.Path); err == nil && !strings.HasPrefix(r, "..") {
-			rel = filepath.ToSlash(r)
-		}
-		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, d.Line, d.Col, d.Check, d.Message)
+	// Analyze the whole module — the call-graph checks need every caller
+	// — then report only the findings inside the selected packages.
+	diags := analysis.Run(pkgs, analyzers, analysis.DefaultConfig())
+	keptDir := make(map[string]bool, len(keep))
+	for _, p := range keep {
+		keptDir[p.Dir] = true
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "memlint: %d finding(s) in %d package(s)\n", len(diags), len(keep))
+	var shown []analysis.Diagnostic
+	for _, d := range diags {
+		if keptDir[filepath.Dir(d.Path)] {
+			shown = append(shown, d)
+		}
+	}
+
+	abs, _ := filepath.Abs(*dir)
+	var report bytes.Buffer
+	if *jsonOut {
+		if err := renderJSON(&report, shown, abs); err != nil {
+			fmt.Fprintf(stderr, "memlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range shown {
+			fmt.Fprintf(&report, "%s:%d:%d: [%s] %s\n", relPath(abs, d.Path), d.Line, d.Col, d.Check, d.Message)
+		}
+	}
+	if *outPath != "" {
+		err := atomicio.WriteStream(*outPath, 0o644, func(w io.Writer) error {
+			_, werr := w.Write(report.Bytes())
+			return werr
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "memlint: %v\n", err)
+			return 2
+		}
+	} else if _, err := stdout.Write(report.Bytes()); err != nil {
+		return 2
+	}
+	if len(shown) > 0 {
+		fmt.Fprintf(stderr, "memlint: %d finding(s) in %d package(s)\n", len(shown), len(keep))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is one diagnostic in -json output. Field order is the
+// render order; paths are module-relative exactly as in text mode.
+type jsonFinding struct {
+	Path    string `json:"path"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// renderJSON writes the findings as an indented JSON array (a "[]" when
+// empty), byte-stable because the input is already sorted and deduped.
+func renderJSON(w io.Writer, diags []analysis.Diagnostic, base string) error {
+	findings := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, jsonFinding{
+			Path:    relPath(base, d.Path),
+			Line:    d.Line,
+			Col:     d.Col,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// relPath renders a diagnostic path relative to the module root (slash
+// separated), leaving paths outside the root untouched.
+func relPath(base, path string) string {
+	if r, err := filepath.Rel(base, path); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return path
 }
 
 // selectChecks filters analyzers by a comma-separated name list (nil on

@@ -1,0 +1,3 @@
+module emptyfixture
+
+go 1.22

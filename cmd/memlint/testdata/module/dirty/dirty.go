@@ -1,5 +1,6 @@
-// Package dirty violates the determinism and durable-write invariants on
-// purpose: the memlint CLI test expects exactly its findings.
+// Package dirty violates the determinism, durable-write and goroutine
+// invariants on purpose: the memlint CLI test expects exactly its
+// findings.
 package dirty
 
 import (
@@ -13,4 +14,12 @@ func Stamp() time.Time { return time.Now() }
 // Save writes an artifact directly.
 func Save(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+// Watch leaks a goroutine with no termination path.
+func Watch(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
 }

@@ -1,0 +1,10 @@
+// Package thirdparty stands in for vendored third-party code: it is
+// deliberately full of memlint violations AND a type error, proving the
+// loader skips vendor/ entirely (it is neither linted nor type-checked).
+package thirdparty
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Broken() int { return "vendored code is not even type-checked" }

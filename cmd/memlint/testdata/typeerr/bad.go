@@ -1,0 +1,7 @@
+// Package bad does not type-check: memlint must exit 2 with a
+// diagnostic on stderr, never panic.
+package bad
+
+func Broken() int {
+	return "not an int"
+}

@@ -1,0 +1,3 @@
+module typeerrfixture
+
+go 1.22

@@ -68,12 +68,35 @@ type Analyzer struct {
 }
 
 // Pass gives one analyzer run its inputs: the type-checked package under
-// inspection and the shared configuration.
+// inspection, the shared configuration, and the module-wide facts
+// (call graph, concurrency summaries) shared by every pass of one Run.
 type Pass struct {
 	Pkg    *Package
 	Config *Config
+	mod    *module
 	diags  *[]Diagnostic
 	check  string
+}
+
+// Graph returns the module-wide call graph, built lazily on first use
+// and shared by every pass of the same Run.
+func (p *Pass) Graph() *CallGraph { return p.mod.callGraph() }
+
+// module holds facts derived once per Run over the full package set:
+// the call graph and the concurrency summaries the lockguard/goleak/
+// ctxflow analyzers share. Run is single-goroutine, so plain lazy
+// initialization suffices.
+type module struct {
+	pkgs  []*Package
+	graph *CallGraph
+	conc  *concFacts
+}
+
+func (m *module) callGraph() *CallGraph {
+	if m.graph == nil {
+		m.graph = buildCallGraph(m.pkgs)
+	}
+	return m.graph
 }
 
 // Reportf records a finding at pos.
@@ -115,6 +138,13 @@ type Config struct {
 	// count as ordering-sensitive sinks for the maprange check (on top of
 	// the built-in writers, builders and encoders).
 	SinkTypes []string
+	// BlockingCalls are functions and methods the ctxflow check treats as
+	// blocking operations on top of the built-in channel operations and
+	// sync.Cond.Wait/WaitGroup.Wait — named "importpath.FuncName" or
+	// "importpath.TypeName.Method". The repo lists its journal and lease
+	// I/O here: a function that drops its context while transitively
+	// reaching one of these cannot be cancelled mid-wait.
+	BlockingCalls []string
 }
 
 // DefaultConfig returns the rules for this repository.
@@ -161,6 +191,17 @@ func DefaultConfig() *Config {
 			"memcontention/internal/prof.Profiler",
 			"memcontention/internal/export.Table",
 		},
+		BlockingCalls: []string{
+			// Uncancellable sleeps: a dropped ctx cannot interrupt them.
+			"time.Sleep",
+			// The repo's journal and lease I/O: fsync-per-append journal
+			// writes and lease acquisition (which polls a TTL out of
+			// stale owners). Reaching these with a dropped ctx means an
+			// uninterruptible wait.
+			"memcontention/internal/checkpoint.Journal.Record",
+			"memcontention/internal/lease.Manager.Acquire",
+			"memcontention/internal/lease.Held.Renew",
+		},
 	}
 }
 
@@ -173,6 +214,9 @@ func Analyzers() []*Analyzer {
 		NilHookAnalyzer,
 		DurableAnalyzer,
 		ErrHygieneAnalyzer,
+		LockGuardAnalyzer,
+		GoLeakAnalyzer,
+		CtxFlowAnalyzer,
 	}
 }
 
@@ -197,11 +241,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg *Config) []Diagnostic {
 	if cfg == nil {
 		cfg = &Config{}
 	}
+	mod := &module{pkgs: pkgs}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, Config: cfg, diags: &raw, check: a.Name}
+			pass := &Pass{Pkg: pkg, Config: cfg, mod: mod, diags: &raw, check: a.Name}
 			a.Run(pass)
 		}
 		out = append(out, applySuppressions(pkg, raw, analyzers)...)

@@ -177,6 +177,32 @@ func TestErrHygieneFixture(t *testing.T) {
 	checkGolden(t, "errhygiene", dir, diags)
 }
 
+// TestLockGuardFixture exercises the guarded-field analyzer: held and
+// unheld accesses, defer-unlock, call-graph propagation, goroutine
+// hand-off, the constructor exemption, and a malformed annotation.
+func TestLockGuardFixture(t *testing.T) {
+	dir := fixtureDir(t, "lockguard")
+	diags := RunFixture(t, dir, &Config{}, LockGuardAnalyzer)
+	checkGolden(t, "lockguard", dir, diags)
+}
+
+// TestGoLeakFixture exercises the goroutine-termination analyzer: every
+// accepted proof shape stays silent, endless and dynamic spawns fire.
+func TestGoLeakFixture(t *testing.T) {
+	dir := fixtureDir(t, "goleak")
+	diags := RunFixture(t, dir, &Config{}, GoLeakAnalyzer)
+	checkGolden(t, "goleak", dir, diags)
+}
+
+// TestCtxFlowFixture exercises the dropped-context analyzer: dropped
+// ctx on blocking paths fires (direct, transitive, explicit discard),
+// threaded or unneeded contexts stay silent.
+func TestCtxFlowFixture(t *testing.T) {
+	dir := fixtureDir(t, "ctxflow")
+	diags := RunFixture(t, dir, &Config{}, CtxFlowAnalyzer)
+	checkGolden(t, "ctxflow", dir, diags)
+}
+
 // TestSuppressFixture exercises the suppression pseudo-check: a used
 // allowance silences its finding, while stale, unknown-check and
 // missing-reason allowances are themselves diagnostics.
@@ -197,6 +223,25 @@ func TestSuppressFixture(t *testing.T) {
 	}
 	if stale != 1 || malformed != 2 {
 		t.Errorf("suppress findings: stale=%d malformed=%d, want 1 and 2", stale, malformed)
+	}
+}
+
+// TestSuppressLastLineFixture is the regression test for allow comments
+// on the final line of a file with no trailing newline: such a comment
+// trails the closing brace below its target, and must both silence the
+// finding on the previous line and not be reported stale.
+func TestSuppressLastLineFixture(t *testing.T) {
+	dir := fixtureDir(t, "suppresslast")
+	src, err := os.ReadFile(filepath.Join(dir, "suppresslast.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) == 0 || src[len(src)-1] == '\n' {
+		t.Fatal("fixture must not end in a newline — that is the case under test")
+	}
+	diags := RunFixture(t, dir, &Config{}, DurableAnalyzer)
+	if len(diags) != 0 {
+		t.Errorf("final-line suppression not honored, got:\n%s", RenderDiagnostics(diags, dir))
 	}
 }
 
@@ -239,7 +284,7 @@ func TestRunDeterministic(t *testing.T) {
 // TestCheckNames pins the accepted //memlint:allow vocabulary.
 func TestCheckNames(t *testing.T) {
 	got := CheckNames(Analyzers())
-	want := []string{"determinism", "durable", "errhygiene", "maprange", "nilhook", "suppress"}
+	want := []string{"ctxflow", "determinism", "durable", "errhygiene", "goleak", "lockguard", "maprange", "nilhook", "suppress"}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("CheckNames = %v, want %v", got, want)
 	}

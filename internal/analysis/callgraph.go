@@ -1,0 +1,335 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// This file is the whole-module layer under the concurrency analyzers
+// (lockguard, goleak, ctxflow): a call graph over every package handed
+// to Run, built from the same go/types information the single-function
+// analyzers use — still no x/tools.
+//
+// Resolution is deliberately simple and deterministic:
+//
+//   - direct calls (pkg.F(), recv.Method()) resolve to the declared
+//     *types.Func;
+//   - interface method calls resolve to every named type among the
+//     analyzed packages whose method set satisfies the interface
+//     (method-set matching, so dispatch is a set of candidate edges
+//     marked Dynamic);
+//   - calls through function values (fields, parameters, closures bound
+//     to variables) resolve to nothing — the analyzers treat an
+//     unresolved callee as unknown and stay conservative about it.
+//
+// Each edge remembers how the call leaves the caller: a plain call, a
+// `go` statement (the callee runs on a new goroutine, inheriting no
+// locks), or a `defer` (the callee runs at function exit). Function
+// literals are attributed to their enclosing declaration, so a closure's
+// calls count as the declaring function's calls.
+
+// EdgeKind classifies how a call site transfers control.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is an ordinary synchronous call.
+	EdgeCall EdgeKind = iota
+	// EdgeGo is the immediate call of a `go` statement: the callee runs
+	// concurrently and inherits none of the caller's held locks.
+	EdgeGo
+	// EdgeDefer is the immediate call of a `defer` statement: the callee
+	// runs at function exit.
+	EdgeDefer
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeGo:
+		return "go"
+	case EdgeDefer:
+		return "defer"
+	}
+	return "call"
+}
+
+// CallEdge is one resolved call site.
+type CallEdge struct {
+	Caller *CallNode
+	Callee *CallNode
+	Site   *ast.CallExpr // the call expression in the caller's body
+	Kind   EdgeKind
+	// Dynamic marks an interface-dispatch candidate: the static type at
+	// the site is an interface and Callee is one of the concrete
+	// implementations found by method-set matching.
+	Dynamic bool
+}
+
+// CallNode is one declared function or method of the analyzed packages
+// (or a stub for a callee that is referenced but declared elsewhere —
+// such nodes have a nil Decl and no outgoing edges).
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl // nil when the body is outside the analyzed packages
+	Pkg  *Package      // package containing Decl (nil for stubs)
+	Out  []*CallEdge
+	In   []*CallEdge
+}
+
+// Name renders the node as "pkgpath.Func" or "pkgpath.Type.Method".
+func (n *CallNode) Name() string { return qualifiedFuncName(n.Fn) }
+
+// CallGraph is the module-wide call graph shared by the concurrency
+// analyzers via the Pass.
+type CallGraph struct {
+	nodes map[*types.Func]*CallNode
+	// order lists the declared nodes in (package path, file, position)
+	// order so every traversal of the graph is deterministic.
+	order []*CallNode
+	// concrete caches the module's non-interface named types, for
+	// analyzers that resolve additional call sites themselves.
+	concrete []*types.Named
+}
+
+// Node returns the graph node for fn, or nil if fn was never seen.
+func (g *CallGraph) Node(fn *types.Func) *CallNode {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.nodes[fn.Origin()]
+}
+
+// Nodes returns the declared nodes in deterministic order.
+func (g *CallGraph) Nodes() []*CallNode { return g.order }
+
+// buildCallGraph constructs the graph over pkgs. Packages must already
+// be sorted (LoadModule sorts; Run preserves the caller's order).
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*CallNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := g.intern(fn)
+				node.Decl = fd
+				node.Pkg = pkg
+				g.order = append(g.order, node)
+			}
+		}
+	}
+	concrete := concreteNamedTypes(pkgs)
+	g.concrete = concrete
+	for _, caller := range g.order {
+		pkg := caller.Pkg
+		visitCalls(caller.Decl.Body, func(call *ast.CallExpr, kind EdgeKind) {
+			for _, target := range resolveCallees(pkg, call, concrete) {
+				callee := g.intern(target.fn)
+				edge := &CallEdge{Caller: caller, Callee: callee, Site: call, Kind: kind, Dynamic: target.dynamic}
+				caller.Out = append(caller.Out, edge)
+				callee.In = append(callee.In, edge)
+			}
+		})
+	}
+	return g
+}
+
+// intern returns the (possibly stub) node for fn, creating it on first
+// use. Generic instantiations are folded onto their origin declaration.
+func (g *CallGraph) intern(fn *types.Func) *CallNode {
+	fn = fn.Origin()
+	if node, ok := g.nodes[fn]; ok {
+		return node
+	}
+	node := &CallNode{Fn: fn}
+	g.nodes[fn] = node
+	return node
+}
+
+// reachableNode walks the graph from start (inclusive) along Call and
+// Defer edges — plus Go edges when includeGo is set — and returns the
+// first visited node satisfying pred, or nil. Traversal order follows
+// edge declaration order, so the answer is deterministic.
+func (g *CallGraph) reachableNode(start *CallNode, includeGo bool, pred func(*CallNode) bool) *CallNode {
+	if start == nil {
+		return nil
+	}
+	visited := map[*CallNode]bool{start: true}
+	queue := []*CallNode{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if pred(n) {
+			return n
+		}
+		for _, e := range n.Out {
+			if e.Kind == EdgeGo && !includeGo {
+				continue
+			}
+			if !visited[e.Callee] {
+				visited[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return nil
+}
+
+// calleeRef is one resolution candidate for a call site.
+type calleeRef struct {
+	fn      *types.Func
+	dynamic bool
+}
+
+// resolveCallees resolves a call expression to its candidate callees:
+// one static callee for direct calls, the concrete implementations for
+// interface dispatch, nothing for function values and builtins.
+func resolveCallees(pkg *Package, call *ast.CallExpr, concrete []*types.Named) []calleeRef {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return []calleeRef{{fn: fn}}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		sel, ok := pkg.Info.Selections[fun]
+		if !ok || sel.Kind() != types.MethodVal {
+			return []calleeRef{{fn: fn}} // qualified package function
+		}
+		iface, ok := sel.Recv().Underlying().(*types.Interface)
+		if !ok {
+			return []calleeRef{{fn: fn}}
+		}
+		return dispatchCandidates(iface, fun.Sel.Name, concrete)
+	}
+	return nil
+}
+
+// dispatchCandidates finds every analyzed named type implementing iface
+// and returns its method named name — the possible targets of one
+// interface call, by method-set matching.
+func dispatchCandidates(iface *types.Interface, name string, concrete []*types.Named) []calleeRef {
+	var out []calleeRef
+	for _, named := range concrete {
+		var impl types.Type
+		switch {
+		case types.Implements(named, iface):
+			impl = named
+		case types.Implements(types.NewPointer(named), iface):
+			impl = types.NewPointer(named)
+		default:
+			continue
+		}
+		ms := types.NewMethodSet(impl)
+		for i := 0; i < ms.Len(); i++ {
+			if m, ok := ms.At(i).Obj().(*types.Func); ok && m.Name() == name {
+				out = append(out, calleeRef{fn: m, dynamic: true})
+			}
+		}
+	}
+	return out
+}
+
+// concreteNamedTypes lists every non-interface named type declared at
+// package scope across pkgs, sorted for deterministic dispatch edges.
+func concreteNamedTypes(pkgs []*Package) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// visitCalls walks body and reports every call expression with the kind
+// of control transfer at its site: the immediate call of a `go`
+// statement is EdgeGo, of a `defer` is EdgeDefer, everything else
+// (including calls nested in go/defer argument lists) is EdgeCall.
+func visitCalls(body *ast.BlockStmt, visit func(*ast.CallExpr, EdgeKind)) {
+	kinds := make(map[*ast.CallExpr]EdgeKind)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			kinds[x.Call] = EdgeGo
+		case *ast.DeferStmt:
+			kinds[x.Call] = EdgeDefer
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			visit(call, kinds[call])
+		}
+		return true
+	})
+}
+
+// qualifiedFuncName renders fn as "pkgpath.Func" or
+// "pkgpath.Type.Method" (methods on pointer receivers use the bare type
+// name, matching Config list syntax).
+func qualifiedFuncName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedRecvType(sig.Recv().Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() == nil {
+		return name
+	}
+	return fn.Pkg().Path() + "." + name
+}
+
+// rootVar resolves the storage location an expression names — the local
+// variable, parameter or struct field at its root — unwrapping parens,
+// address-of, dereference and (for fields) the selector chain. It
+// returns nil for anything else (calls, literals, indexing). The object
+// identity of a struct field is module-wide: every `s.ch` in any package
+// resolves to the same *types.Var, which is what lets goleak match a
+// close in one function to a receive in another.
+func rootVar(pkg *Package, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+		if v, ok := pkg.Info.Defs[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.UnaryExpr:
+		return rootVar(pkg, x.X)
+	case *ast.StarExpr:
+		return rootVar(pkg, x.X)
+	}
+	return nil
+}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// concFacts are the module-wide concurrency summaries shared by the
+// lockguard, goleak and ctxflow analyzers: which channels are ever
+// closed, which WaitGroups are ever waited on, a per-function summary
+// of termination evidence and blocking operations, and the lockguard
+// results (computed globally because lock requirements propagate along
+// call edges, then filtered per package when each pass reports). Built
+// once per Run by whichever concurrency analyzer fires first.
+type concFacts struct {
+	// alias is a union-find over channel and WaitGroup storage
+	// locations: passing a channel variable as an argument unifies it
+	// with the callee's parameter, so a close in one function proves
+	// termination for a receive in another.
+	alias map[*types.Var]*types.Var
+	// closed holds the representatives of channels close()d anywhere in
+	// the module.
+	closed map[*types.Var]bool
+	// waited holds the representatives of sync.WaitGroups with a Wait()
+	// call anywhere in the module.
+	waited map[*types.Var]bool
+	// summaries caches one funcSummary per declared function.
+	summaries map[*types.Func]*funcSummary
+	// guards maps each annotated struct field to its guard description.
+	guards map[*types.Var]*guardedField
+	// lockDiags holds the lockguard findings for the whole module; each
+	// pass emits the subset belonging to its package.
+	lockDiags []modDiag
+}
+
+// modDiag is a finding produced at module scope, remembering which
+// package it belongs to so per-package passes can claim it.
+type modDiag struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// funcSummary condenses one function body for the concurrency
+// analyzers. Function literals spawned by `go` inside the body are NOT
+// included — their loops, evidence and blocking operations belong to
+// the goroutine they start, which goleak inspects at its own `go`
+// statement — while all other nested literals are folded in.
+type funcSummary struct {
+	// evidence: the body carries goleak termination evidence — a
+	// ctx.Done()/Err()/Deadline() read, a receive on a channel the
+	// module closes, or WaitGroup.Done on a group the module waits on.
+	evidence bool
+	// hasLoop: the body contains an unbounded loop (a `for` statement,
+	// or a range over a channel). Ranges over slices, maps and integers
+	// are bounded and do not count.
+	hasLoop bool
+	// blocking describes the first blocking operation in the body ("" if
+	// none): a channel send/receive, a select without default, a
+	// sync.Cond.Wait or WaitGroup.Wait, or a configured blocking call.
+	blocking string
+}
+
+// conc returns the module's concurrency facts, built on first use.
+func (p *Pass) conc() *concFacts {
+	if p.mod.conc == nil {
+		p.mod.conc = buildConcFacts(p.mod.pkgs, p.mod.callGraph(), p.Config)
+	}
+	return p.mod.conc
+}
+
+func buildConcFacts(pkgs []*Package, graph *CallGraph, cfg *Config) *concFacts {
+	c := &concFacts{
+		alias:     make(map[*types.Var]*types.Var),
+		closed:    make(map[*types.Var]bool),
+		waited:    make(map[*types.Var]bool),
+		summaries: make(map[*types.Func]*funcSummary),
+	}
+	c.buildAliases(graph)
+	c.collectClosesAndWaits(graph)
+	blocking := stringSet(cfg.BlockingCalls)
+	for _, node := range graph.Nodes() {
+		c.summaries[node.Fn] = summarizeBody(node.Pkg, node.Decl.Body, c, blocking)
+	}
+	c.collectGuards(pkgs)
+	c.runLockGuard(graph)
+	return c
+}
+
+// find returns the union-find representative of v.
+func (c *concFacts) find(v *types.Var) *types.Var {
+	for {
+		p, ok := c.alias[v]
+		if !ok || p == v {
+			return v
+		}
+		// Path compression.
+		if gp, ok := c.alias[p]; ok && gp != p {
+			c.alias[v] = gp
+		}
+		v = p
+	}
+}
+
+func (c *concFacts) union(a, b *types.Var) {
+	ra, rb := c.find(a), c.find(b)
+	if ra != rb {
+		c.alias[ra] = rb
+	}
+}
+
+// aliasWorthy reports whether t is a type whose identity the analyzers
+// track across calls: a channel, or a (pointer to) sync.WaitGroup.
+func aliasWorthy(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	return isWaitGroup(t)
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// buildAliases unifies channel/WaitGroup arguments with the matching
+// parameters of every resolved callee, across all call kinds (a channel
+// handed to a goroutine is still the same channel).
+func (c *concFacts) buildAliases(graph *CallGraph) {
+	for _, caller := range graph.Nodes() {
+		for _, e := range caller.Out {
+			if e.Callee.Decl == nil {
+				continue
+			}
+			sig, ok := e.Callee.Fn.Type().(*types.Signature)
+			if !ok {
+				continue
+			}
+			n := sig.Params().Len()
+			if sig.Variadic() {
+				n--
+			}
+			for i := 0; i < n && i < len(e.Site.Args); i++ {
+				param := sig.Params().At(i)
+				if !aliasWorthy(param.Type()) {
+					continue
+				}
+				if arg := rootVar(caller.Pkg, e.Site.Args[i]); arg != nil {
+					c.union(arg, param)
+				}
+			}
+		}
+	}
+}
+
+// collectClosesAndWaits records every close(ch) and every
+// (*sync.WaitGroup).Wait() in the module.
+func (c *concFacts) collectClosesAndWaits(graph *CallGraph) {
+	for _, node := range graph.Nodes() {
+		pkg := node.Pkg
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+				if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					if v := rootVar(pkg, call.Args[0]); v != nil {
+						c.closed[c.find(v)] = true
+					}
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if tv, ok := pkg.Info.Types[sel.X]; ok && isWaitGroup(tv.Type) {
+					if v := rootVar(pkg, sel.X); v != nil {
+						c.waited[c.find(v)] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isCondWait reports a (*sync.Cond).Wait() call.
+func isSyncMethod(pkg *Package, sel *ast.SelectorExpr, typeName, method string) bool {
+	if sel.Sel.Name != method {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == typeName
+}
+
+// summarizeBody walks one function (or goroutine) body and condenses
+// it for the concurrency analyzers. Bodies of function literals started
+// with `go` inside it are skipped: they belong to the goroutine they
+// start, not to this body's own control flow.
+func summarizeBody(pkg *Package, body *ast.BlockStmt, c *concFacts, blocking map[string]bool) *funcSummary {
+	s := &funcSummary{}
+	goLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				goLits[lit] = true
+			}
+		}
+		return true
+	})
+	setBlocking := func(desc string) {
+		if s.blocking == "" {
+			s.blocking = desc
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if goLits[x] {
+				return false
+			}
+		case *ast.ForStmt:
+			s.hasLoop = true
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[x.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					s.hasLoop = true
+					setBlocking("channel receive")
+					if v := rootVar(pkg, x.X); v != nil && c.closed[c.find(v)] {
+						s.evidence = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			setBlocking("channel send")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				setBlocking("channel receive")
+				if v := rootVar(pkg, x.X); v != nil && c.closed[c.find(v)] {
+					s.evidence = true
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				setBlocking("select")
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				break
+			}
+			// ctx.Done()/Err()/Deadline(): the goroutine observes its
+			// context — the canonical cooperative-cancellation shape.
+			switch sel.Sel.Name {
+			case "Done", "Err", "Deadline":
+				if tv, ok := pkg.Info.Types[sel.X]; ok && isContextType(tv.Type) {
+					s.evidence = true
+				}
+			}
+			if isSyncMethod(pkg, sel, "WaitGroup", "Done") {
+				if v := rootVar(pkg, sel.X); v != nil && c.waited[c.find(v)] {
+					s.evidence = true
+				}
+			}
+			if isSyncMethod(pkg, sel, "Cond", "Wait") {
+				setBlocking("sync.Cond.Wait")
+			}
+			if isSyncMethod(pkg, sel, "WaitGroup", "Wait") {
+				setBlocking("sync.WaitGroup.Wait")
+			}
+			if len(blocking) > 0 {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && blocking[qualifiedFuncName(fn)] {
+					setBlocking(qualifiedFuncName(fn))
+				}
+			}
+		case *ast.Ident:
+			// A plain package-function blocking call (e.g. time.Sleep is
+			// selector-based; dot-imports are not used in this repo).
+		}
+		return true
+	})
+	return s
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (making it non-blocking).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

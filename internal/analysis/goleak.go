@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoLeakAnalyzer requires every `go` statement to have a provable
+// termination path. A spawned goroutine terminates provably when the
+// code it runs — its body plus everything reachable through the module
+// call graph along synchronous edges — either
+//
+//   - observes a context (ctx.Done()/Err()/Deadline()),
+//   - receives from (or ranges over) a channel the module closes
+//     somewhere, tracked across calls by argument/parameter aliasing,
+//   - calls Done on a sync.WaitGroup the module Waits on, or
+//   - contains no unbounded loop at all (straight-line goroutines run
+//     off the end; ranges over slices/maps are bounded, `for` statements
+//     and ranges over channels are not).
+//
+// A `go` through a function value (field, parameter) resolves to no
+// body and is flagged: the termination of dynamic hand-offs cannot be
+// proven statically, and deserves either a restructure or a reasoned
+// //memlint:allow.
+var GoLeakAnalyzer = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement needs a provable termination path (ctx, closed channel, WaitGroup, or straight-line body)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	conc := pass.conc()
+	graph := pass.Graph()
+	blocking := stringSet(pass.Config.BlockingCalls)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineTerminates(pass.Pkg, g, conc, graph, blocking) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine has no provable termination path (no ctx.Done, closed-channel receive, WaitGroup pairing, or loop-free body)")
+			return true
+		})
+	}
+}
+
+// goroutineTerminates decides one `go` statement.
+func goroutineTerminates(pkg *Package, g *ast.GoStmt, conc *concFacts, graph *CallGraph, blocking map[string]bool) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		sum := summarizeBody(pkg, lit.Body, conc, blocking)
+		if sum.evidence {
+			return true
+		}
+		return calleesTerminate(calleesIn(pkg, lit.Body, graph), graph, conc, sum.hasLoop)
+	}
+	refs := resolveCallees(pkg, g.Call, graph.concrete)
+	if len(refs) == 0 {
+		return false // dynamic hand-off: unprovable
+	}
+	for _, ref := range refs {
+		node := graph.Node(ref.fn)
+		if node == nil || node.Decl == nil {
+			return false // body outside the module: unprovable
+		}
+		if !nodeTerminates(node, graph, conc) {
+			return false
+		}
+	}
+	return true
+}
+
+// nodeTerminates applies the termination rule starting from a declared
+// function: reachable evidence anywhere wins; otherwise every reachable
+// body (including the root) must be loop-free.
+func nodeTerminates(root *CallNode, graph *CallGraph, conc *concFacts) bool {
+	sum := conc.summaries[root.Fn]
+	if sum != nil && sum.evidence {
+		return true
+	}
+	return calleesTerminate([]*CallNode{root}, graph, conc, false)
+}
+
+// calleesTerminate walks the synchronous call graph from the given
+// start nodes. Evidence in any reachable body proves termination;
+// otherwise the goroutine terminates only if no reachable body (and not
+// the spawned body itself, per rootHasLoop) contains an unbounded loop.
+// Edges of kind EdgeGo are excluded: a goroutine spawning another
+// goroutine does not keep itself alive, and the nested `go` is checked
+// at its own statement.
+func calleesTerminate(starts []*CallNode, graph *CallGraph, conc *concFacts, rootHasLoop bool) bool {
+	anyLoop := rootHasLoop
+	visited := make(map[*CallNode]bool)
+	queue := make([]*CallNode, 0, len(starts))
+	for _, s := range starts {
+		if s != nil && !visited[s] {
+			visited[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.Decl == nil {
+			continue // unknown body: assume it returns, prove nothing from it
+		}
+		if sum := conc.summaries[n.Fn]; sum != nil {
+			if sum.evidence {
+				return true
+			}
+			if sum.hasLoop {
+				anyLoop = true
+			}
+		}
+		for _, e := range n.Out {
+			if e.Kind == EdgeGo {
+				continue
+			}
+			if !visited[e.Callee] {
+				visited[e.Callee] = true
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+	return !anyLoop
+}
+
+// calleesIn resolves every call inside a spawned literal body (skipping
+// the immediate calls of nested `go` statements) to its graph nodes —
+// the starting points for the literal's reachability walk.
+func calleesIn(pkg *Package, body *ast.BlockStmt, graph *CallGraph) []*CallNode {
+	var out []*CallNode
+	seen := make(map[*CallNode]bool)
+	visitCalls(body, func(call *ast.CallExpr, kind EdgeKind) {
+		if kind == EdgeGo {
+			return
+		}
+		for _, ref := range resolveCallees(pkg, call, graph.concrete) {
+			if node := graph.Node(ref.fn); node != nil && !seen[node] {
+				seen[node] = true
+				out = append(out, node)
+			}
+		}
+	})
+	return out
+}

@@ -82,7 +82,9 @@ func modulePath(gomod string) (string, error) {
 }
 
 // moduleDirs lists every directory under root holding non-test .go
-// files, skipping hidden directories and testdata trees.
+// files, skipping hidden directories, testdata trees and vendor trees
+// (vendored code is third-party: not ours to lint, and its import paths
+// do not live under the module path).
 func moduleDirs(root string) ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -93,7 +95,7 @@ func moduleDirs(root string) ([]string, error) {
 			return nil
 		}
 		name := d.Name()
-		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
 			return filepath.SkipDir
 		}
 		if hasGoFiles(path) {

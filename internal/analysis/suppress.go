@@ -28,6 +28,11 @@ type suppression struct {
 	check  string
 	reason string
 	used   bool
+	// lastLine: the comment sits on the final line of its file. Such a
+	// comment additionally covers the line above it: a trailing comment
+	// on a file's closing line (no newline after it) has nothing below
+	// it to suppress, so the target is unambiguous.
+	lastLine bool
 }
 
 // collectSuppressions parses every memlint:allow comment in the package.
@@ -77,20 +82,34 @@ func parseAllow(pkg *Package, c *ast.Comment, rest string, known map[string]bool
 		report(c.Pos(), "//memlint:allow %s has no reason; justify the suppression after an em dash", check)
 		return nil
 	}
+	line := pkg.Fset.Position(c.Pos()).Line
+	lastLine := false
+	if f := pkg.Fset.File(c.Pos()); f != nil {
+		lastLine = line == f.LineCount()
+	}
 	return &suppression{
-		pos:    c.Pos(),
-		line:   pkg.Fset.Position(c.Pos()).Line,
-		check:  check,
-		reason: reason,
+		pos:      c.Pos(),
+		line:     line,
+		check:    check,
+		reason:   reason,
+		lastLine: lastLine,
 	}
 }
 
 // applySuppressions filters raw diagnostics through the package's
 // //memlint:allow comments and appends "suppress" findings for malformed
 // and stale ones. A suppression on line L silences matching diagnostics
-// on line L (trailing comment) and line L+1 (comment above).
+// on line L (trailing comment) and line L+1 (comment above); when L is
+// the final line of its file — e.g. a comment trailing the closing
+// brace of the last function, with no newline after it — it also covers
+// line L-1, since nothing can follow it.
 func applySuppressions(pkg *Package, raw []Diagnostic, analyzers []*Analyzer) []Diagnostic {
-	known := stringSet(CheckNames(analyzers))
+	// The allow vocabulary is the full registry, not just the analyzers
+	// of this run: `-checks determinism` must not call an allowance for
+	// another check a typo. Staleness, in contrast, is only decidable
+	// for checks that actually ran.
+	known := stringSet(CheckNames(Analyzers()))
+	running := stringSet(CheckNames(analyzers))
 	var out []Diagnostic
 	report := func(pos token.Pos, format string, args ...any) {
 		pass := &Pass{Pkg: pkg, diags: &out, check: SuppressCheck}
@@ -105,7 +124,7 @@ func applySuppressions(pkg *Package, raw []Diagnostic, analyzers []*Analyzer) []
 	for _, d := range raw {
 		suppressed := false
 		for _, s := range byFile[d.Path] {
-			if s.check == d.Check && (s.line == d.Line || s.line == d.Line-1) {
+			if s.check == d.Check && (s.line == d.Line || s.line == d.Line-1 || (s.lastLine && s.line == d.Line+1)) {
 				s.used = true
 				suppressed = true
 			}
@@ -115,7 +134,7 @@ func applySuppressions(pkg *Package, raw []Diagnostic, analyzers []*Analyzer) []
 		}
 	}
 	for _, s := range sups {
-		if !s.used {
+		if !s.used && running[s.check] {
 			report(s.pos, "stale //memlint:allow %s: no %s diagnostic on this or the next line — remove it", s.check, s.check)
 		}
 	}

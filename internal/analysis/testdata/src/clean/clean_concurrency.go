@@ -1,0 +1,60 @@
+// Conforming concurrency code: the lockguard, goleak and ctxflow
+// analyzers must all stay silent here.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// Guarded is a correctly locked counter: every access to n holds mu,
+// including the one from the worker goroutine.
+type Guarded struct {
+	mu sync.Mutex
+	// memlint:guard mu
+	n int
+}
+
+// Incr locks around the write.
+func (g *Guarded) Incr() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// Snapshot locks around the read.
+func (g *Guarded) Snapshot() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Watch spawns a cancellation-aware goroutine: the context flows into
+// the blocking select, which doubles as goleak's termination proof.
+func Watch(ctx context.Context, events chan int, g *Guarded) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-events:
+				g.Incr()
+			}
+		}
+	}()
+}
+
+// Consume drains a channel its caller closes and signals a WaitGroup
+// the caller waits on — both classic terminating shapes.
+func Consume(jobs chan int, g *Guarded) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range jobs {
+			g.Incr()
+		}
+	}()
+	close(jobs)
+	wg.Wait()
+}

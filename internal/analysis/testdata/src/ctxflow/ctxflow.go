@@ -1,0 +1,50 @@
+// Package ctxflow is a memlint fixture: context parameters that are
+// dropped on blocking paths (flagged at the parameter), contexts that
+// flow down correctly, and dropped contexts on non-blocking paths
+// (silent — nothing there to cancel).
+package ctxflow
+
+import (
+	"context"
+	"sync"
+)
+
+// Send drops its ctx and then blocks on a send — flagged.
+func Send(ctx context.Context, ch chan int) { // want "never uses it, yet reaches a blocking operation \\(channel send\\)"
+	ch <- 1
+}
+
+// Forward threads its ctx into the blocking select — silent.
+func Forward(ctx context.Context, ch chan int) {
+	forward(ctx, ch)
+}
+
+func forward(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case ch <- 1:
+	}
+}
+
+// Pure drops its ctx but never blocks — silent.
+func Pure(ctx context.Context, a, b int) int {
+	return a + b
+}
+
+// Discard explicitly discards the context while waiting on a condition
+// variable — flagged: the discard is the bug, not an exemption.
+func Discard(_ context.Context, c *sync.Cond) { // want "sync.Cond.Wait"
+	c.L.Lock()
+	c.Wait()
+	c.L.Unlock()
+}
+
+// Transitive drops its ctx and reaches blocking work through a callee —
+// flagged, naming where the blocking happens.
+func Transitive(ctx context.Context, ch chan int) { // want "channel receive in ctxflow.sink"
+	sink(ch)
+}
+
+func sink(ch chan int) {
+	<-ch
+}

@@ -1,0 +1,112 @@
+// Package goleak is a memlint fixture: goroutines with each accepted
+// termination proof (context observation, closed-channel receive,
+// WaitGroup pairing, loop-free body) and the spawns the check must
+// flag (endless receive, unclosed drain, dynamic hand-off).
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// SpawnCtx watches its context — silent.
+func SpawnCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// SpawnClosed ranges over a channel this package closes — silent (the
+// range ends when the channel is drained).
+func SpawnClosed() {
+	jobs := make(chan int)
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+	close(jobs)
+}
+
+// SpawnWG pairs Done with a reachable Wait — silent.
+func SpawnWG(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// SpawnBounded runs a loop-free body: it falls off the end — silent.
+func SpawnBounded(log func(string)) {
+	go func() {
+		log("started")
+	}()
+}
+
+// pump observes its context, so spawning it by name is silent.
+func pump(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ch <- 1:
+		}
+	}
+}
+
+// StartPump spawns a named function whose body carries the proof.
+func StartPump(ctx context.Context, ch chan int) {
+	go pump(ctx, ch)
+}
+
+// drain is provably terminated only when some caller closes its
+// argument; StartDrainClosed does, and argument/parameter aliasing
+// carries that close into drain's range — silent.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func StartDrainClosed() {
+	ch := make(chan int)
+	go drain(ch)
+	close(ch)
+}
+
+// drainForever is identical but nobody ever closes its channel.
+func drainForever(ch chan int) {
+	for range ch {
+	}
+}
+
+// StartDrainForever spawns an endless drain — flagged.
+func StartDrainForever(ch chan int) {
+	go drainForever(ch) // want "no provable termination path"
+}
+
+// Leak receives forever with no exit condition — flagged.
+func Leak(ch chan int) {
+	go func() { // want "no provable termination path"
+		for {
+			v := <-ch
+			_ = v
+		}
+	}()
+}
+
+// StartFunc hands execution to a function value whose body the
+// analyzer cannot see — flagged; restructure or allow with a reason.
+func StartFunc(f func()) {
+	go f() // want "no provable termination path"
+}

@@ -1,0 +1,78 @@
+// Package lockguard is a memlint fixture: accesses to fields annotated
+// `memlint:guard mu` with and without the mutex held, the defer-unlock
+// idiom, cross-function propagation along the call graph, goroutine
+// hand-off, the constructor exemption, and a malformed annotation.
+package lockguard
+
+import "sync"
+
+// Store is the annotated struct under test.
+type Store struct {
+	mu sync.Mutex
+	// memlint:guard mu
+	n int
+}
+
+// Get holds the lock via defer — silent.
+func (s *Store) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Put locks and unlocks explicitly — silent.
+func (s *Store) Put(v int) {
+	s.mu.Lock()
+	s.n = v
+	s.mu.Unlock()
+}
+
+// Racy reads after releasing — flagged at the access: an exported
+// method must lock for itself.
+func (s *Store) Racy() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.n // want "guarded by \"s.mu\" and accessed without it held"
+}
+
+// bump is unexported, so it may assume its callers hold the lock; the
+// requirement moves to its call sites.
+func (s *Store) bump() { s.n++ }
+
+// Incr discharges bump's requirement — silent.
+func (s *Store) Incr() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump()
+}
+
+// BadCaller calls bump without the lock — flagged at the call site.
+func (s *Store) BadCaller() {
+	s.bump() // want "requires \"s.mu\" held"
+}
+
+// Spawn starts a goroutine while holding the lock; the goroutine does
+// not inherit it — flagged inside the literal.
+func (s *Store) Spawn(done chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.n = 0 // want "guarded by \"s.mu\" and accessed without it held"
+		<-done
+	}()
+}
+
+// NewStore touches the field of a value it just built — the value is
+// not shared yet, so the constructor exemption keeps this silent.
+func NewStore() *Store {
+	s := &Store{}
+	s.n = 1
+	return s
+}
+
+// annotated carries a guard annotation naming a non-existent sibling —
+// the annotation itself is the finding.
+type annotated struct {
+	// memlint:guard missing // want "not a sync.Mutex/RWMutex field"
+	v int
+}

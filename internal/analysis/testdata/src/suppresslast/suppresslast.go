@@ -1,0 +1,13 @@
+// Package suppresslast regression-tests the final-line suppression
+// rule: the allow comment trails the closing brace on the very last
+// line of the file, with no newline after it, and must still cover the
+// flagged write on the line above.
+package suppresslast
+
+import "os"
+
+// Save writes a throwaway file directly; the allowance below keeps the
+// durable check quiet.
+func Save(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o600)
+} //memlint:allow durable — throwaway scratch write; fixture for the final-line suppression rule

@@ -222,10 +222,12 @@ func ReadEvents(dir string) ([]Event, error) {
 type EventLog struct {
 	mu     sync.Mutex
 	path   string
-	f      *os.File
 	worker string
 	clock  obs.Clock
-	seq    uint64
+	// memlint:guard mu
+	f *os.File
+	// memlint:guard mu
+	seq uint64
 }
 
 // OpenEventLog opens (or creates, durably) the event journal of one

@@ -26,11 +26,15 @@ type fleetObs struct {
 	rate  *obs.Rolling
 	dir   string
 
-	mu       sync.Mutex
-	status   WorkerStatus
+	mu sync.Mutex
+	// memlint:guard mu
+	status WorkerStatus
+	// memlint:guard mu
 	holdings map[int]uint64 // shard -> fencing epoch of held leases
-	shards   map[int]*ShardProgress
-	errs     int
+	// memlint:guard mu
+	shards map[int]*ShardProgress
+	// memlint:guard mu
+	errs int
 }
 
 // fleetRateWindow sizes the units/s rolling window: long enough that a

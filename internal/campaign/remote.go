@@ -518,6 +518,13 @@ func runLeasedShard(ctx context.Context, cfg Config, opts RemoteOptions, set *ch
 	go func() {
 		defer close(hbDone)
 		for {
+			// Sleep honors hbCtx, but it is an injected func value whose
+			// body the analyzer cannot see; checking the context here makes
+			// the termination path explicit (and survives a Sleep stub that
+			// ignores cancellation, as some tests install).
+			if hbCtx.Err() != nil {
+				return
+			}
 			if err := opts.Sleep(hbCtx, heartbeat); err != nil {
 				return
 			}

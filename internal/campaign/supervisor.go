@@ -152,16 +152,25 @@ type Supervisor struct {
 	m    supervisorMetrics
 	fo   *fleetObs // fleet plane of persistent runs; nil for temp dirs
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queues   [][]*unitState // pending, per home shard
+	mu   sync.Mutex
+	cond *sync.Cond
+	// memlint:guard mu
+	queues [][]*unitState // pending, per home shard
+	// memlint:guard mu
 	inflight int
+	// memlint:guard mu
 	unitsAll int
+	// memlint:guard mu
 	doneKeys map[string]bool
+	// memlint:guard mu
 	perShard []shardCounters
-	quar     []QuarantineRecord
+	// memlint:guard mu
+	quar []QuarantineRecord
+	// memlint:guard mu
 	restarts int
-	stolen   int
+	// memlint:guard mu
+	stolen int
+	// memlint:guard mu
 	canceled bool
 
 	journals []*checkpoint.Journal
@@ -205,9 +214,11 @@ func (s *Supervisor) loadDone() error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
 	for _, e := range entries {
 		s.doneKeys[e.Key] = true
 	}
+	s.mu.Unlock()
 	return nil
 }
 

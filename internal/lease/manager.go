@@ -370,10 +370,13 @@ type Held struct {
 	tookOver bool
 	deposed  Owner
 
-	mu       sync.Mutex
-	fenced   bool
+	mu sync.Mutex
+	// memlint:guard mu
+	fenced bool
+	// memlint:guard mu
 	released bool
-	dropped  bool // held-gauge already decremented (fence or release)
+	// memlint:guard mu
+	dropped bool // held-gauge already decremented (fence or release)
 }
 
 // Shard reports the shard this lease covers.

@@ -94,9 +94,12 @@ func (g *Gauge) Value() float64 {
 type Histogram struct {
 	mu     sync.Mutex
 	bounds []float64
+	// memlint:guard mu
 	counts []uint64 // len(bounds)+1, last is the +Inf bucket
-	sum    float64
-	count  uint64
+	// memlint:guard mu
+	sum float64
+	// memlint:guard mu
+	count uint64
 }
 
 // newHistogram copies and sanity-checks the bounds.

@@ -88,7 +88,8 @@ type metricKey struct {
 // off" registry: its getters return nil instruments and its exporters
 // render an empty document.
 type Registry struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// memlint:guard mu
 	metrics map[metricKey]*metric
 }
 

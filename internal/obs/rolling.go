@@ -23,14 +23,18 @@ import (
 // following the package's zero-cost-when-off contract.
 type Rolling struct {
 	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds; +Inf bucket implicit
-	slices [][]uint64
-	counts []uint64 // per-slice observation totals
-	sums   []float64
+	bounds []float64     // ascending upper bounds; +Inf bucket implicit
 	slice  time.Duration // duration of one slice
-	epoch  int64         // absolute index of the newest populated slice
 	start  time.Time     // clock reading at construction (slice 0 origin)
 	clock  Clock
+	// memlint:guard mu
+	slices [][]uint64
+	// memlint:guard mu
+	counts []uint64 // per-slice observation totals
+	// memlint:guard mu
+	sums []float64
+	// memlint:guard mu
+	epoch int64 // absolute index of the newest populated slice
 }
 
 // NewRolling builds a rolling histogram over the given bucket bounds
@@ -135,6 +139,7 @@ func (r *Rolling) Rate() float64 {
 	if r == nil {
 		return 0
 	}
+	//memlint:allow lockguard — only the slice header's length is read; it is fixed at construction
 	window := r.slice * time.Duration(len(r.slices))
 	return float64(r.Count()) / window.Seconds()
 }

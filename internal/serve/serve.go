@@ -438,8 +438,10 @@ type calibCache struct {
 	reg  *obs.Registry
 	seed uint64
 
-	mu       sync.Mutex
-	done     map[string]*entry
+	mu sync.Mutex
+	// memlint:guard mu
+	done map[string]*entry
+	// memlint:guard mu
 	inflight map[string]*calibCall
 }
 
